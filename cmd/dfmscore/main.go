@@ -1,0 +1,53 @@
+// Command dfmscore runs the full DFM technique scorecard — the
+// repository's headline experiment: every technique the DAC'08 panel
+// debated, applied to synthetic workloads, measured, and judged
+// hit/marginal/hype.
+//
+// Usage:
+//
+//	dfmscore [-seed N] [-detail]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dfm"
+	"repro/internal/tech"
+)
+
+func main() {
+	seed := flag.Int64("seed", 11, "workload generation seed")
+	detail := flag.Bool("detail", false, "print every metric, not just the primary")
+	asJSON := flag.Bool("json", false, "emit the scorecard as JSON")
+	flag.Parse()
+
+	t := tech.N45()
+	if !*asJSON {
+		fmt.Printf("DFM scorecard on %s (half-pitch %dnm, k1=%.2f), seed %d\n\n",
+			t.Name, t.HalfPitch(), t.K1(), *seed)
+	}
+
+	sc := dfm.RunAll(t, *seed)
+	if *asJSON {
+		b, err := sc.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfmscore:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Println(sc.Table())
+	if *detail {
+		fmt.Println(sc.Detail())
+	}
+	hit, marg, hype := sc.Hits()
+	fmt.Printf("verdicts: %d hit, %d marginal, %d hype\n", hit, marg, hype)
+	for _, o := range sc.Outcomes {
+		if o.Err != nil {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro is godfm: an open-source reproduction of the question
+// posed by "DFM in practice: hit or hype?" (DAC 2008) — a complete
+// Design-for-Manufacturability stack in pure Go, plus the scorecard
+// experiments that answer the panel quantitatively.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); the runnable surfaces are:
+//
+//   - cmd/dfmscore   — the full hit-or-hype scorecard
+//   - cmd/drccheck   — design-rule checking
+//   - cmd/lithosim   — aerial-image simulation and hotspot scanning
+//   - cmd/yieldest   — critical-area yield estimation
+//   - cmd/patscan    — layout pattern catalogs
+//   - examples/      — quickstart and four domain flows
+//   - bench_test.go  — one benchmark per experiment (T1..T7, F1..F6)
+package repro

@@ -1,0 +1,61 @@
+// DPT flow: the double-patterning readiness study the 2008 panelists
+// saw on the horizon. Decompose metal layers at progressively tighter
+// pitches, count odd-cycle conflicts, attempt stitch repair, and score
+// the decompositions — showing where single-exposure layout styles
+// stop being decomposable.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dpt"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+func main() {
+	t := tech.N45()
+
+	// Part 1: regular line/space arrays always decompose.
+	fmt.Println("regular line/space (width 50):")
+	fmt.Printf("%8s %10s %9s %9s %9s\n", "pitch", "conflicts", "stitches", "balance", "score")
+	for _, pitch := range []int64{400, 300, 240, 200, 160} {
+		cell := layout.LineSpace(t, tech.Metal2, 50, pitch-50, 4000, 12)
+		res := dpt.Decompose(cell.LayerRects(tech.Metal2), 160, true, 40)
+		s := res.ScoreDecomposition(40)
+		fmt.Printf("%8d %10d %9d %9.3f %9.3f\n",
+			pitch, len(res.Conflicts), res.Stitches, 1-res.DensityBalance(), s.Composite)
+	}
+
+	// Part 2: 2D random contact-style fields develop native conflicts.
+	fmt.Println("\nrandom 2D contact field (80nm squares):")
+	fmt.Printf("%8s %10s %9s %9s %9s\n", "pitch", "conflicts", "stitches", "balance", "score")
+	for _, pitch := range []int64{400, 300, 250, 200, 170} {
+		rnd := rand.New(rand.NewSource(3))
+		var rs []geom.Rect
+		for x := int64(0); x < 10; x++ {
+			for y := int64(0); y < 10; y++ {
+				ox := rnd.Int63n(pitch / 4)
+				rs = append(rs, geom.R(x*pitch+ox+y*pitch/2, y*pitch, x*pitch+ox+y*pitch/2+80, y*pitch+80))
+			}
+		}
+		res := dpt.Decompose(rs, 160, true, 40)
+		s := res.ScoreDecomposition(40)
+		fmt.Printf("%8d %10d %9d %9.3f %9.3f\n",
+			pitch, len(res.Conflicts), res.Stitches, 1-res.DensityBalance(), s.Composite)
+	}
+
+	// Part 3: a real routed layer at its native pitch.
+	l, err := layout.GenerateBlock(t, layout.BlockOpts{Rows: 2, RowWidth: 8000, Nets: 12, MaxFan: 3, Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+	m2 := layout.ByLayer(l.Flatten())[tech.Metal2]
+	// Same-mask spacing above the drawn minimum forces decomposition.
+	res := dpt.Decompose(m2, 120, true, 40)
+	s := res.ScoreDecomposition(40)
+	fmt.Printf("\nrouted metal2 (same-mask min 120): features=%d conflicts=%d stitches=%d composite=%.3f\n",
+		len(res.Features), len(res.Conflicts), res.Stitches, s.Composite)
+}

@@ -1,0 +1,201 @@
+// Package device implements the compact transistor models that couple
+// lithography to electrical behaviour: an alpha-power-law MOSFET with
+// short-channel Vth roll-off, non-rectangular-gate (NRG) slicing that
+// converts a printed gate contour into separate delay- and leakage-
+// equivalent channel lengths (Poppe/Capodieci, SPIE 2006), and simple
+// layout-dependent-effect hooks (well proximity, stress). This is the
+// "from poly line to transistor" link the post-OPC timing experiment
+// (T5) rests on.
+package device
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Model holds the alpha-power-law parameters of one device flavor.
+type Model struct {
+	Vdd   float64 // supply, V
+	Vth0  float64 // long-channel threshold, V
+	Alpha float64 // velocity-saturation exponent (~1.3 at 45nm)
+	K     float64 // drive constant, A/V^alpha per square (W/L)
+	LNom  float64 // nominal drawn channel length, nm
+
+	// Short-channel Vth roll-off: Vth(L) = Vth0 - DVth*exp(-L/LSce).
+	DVth float64 // V
+	LSce float64 // nm
+
+	// Subthreshold leakage: I0 * (W/L) * 10^(-Vth/S) with S in V/decade.
+	I0 float64 // A at Vth=0 per square
+	S  float64 // subthreshold swing, V/decade
+}
+
+// NMOS45 returns the N45 NMOS model.
+func NMOS45() Model {
+	return Model{
+		Vdd: 1.0, Vth0: 0.34, Alpha: 1.3, K: 6e-4, LNom: 45,
+		DVth: 0.35, LSce: 25,
+		I0: 2e-7, S: 0.095,
+	}
+}
+
+// PMOS45 returns the N45 PMOS model (weaker drive).
+func PMOS45() Model {
+	m := NMOS45()
+	m.K = 3e-4
+	m.Vth0 = 0.36
+	return m
+}
+
+// Vth returns the threshold at channel length l (nm), including
+// short-channel roll-off.
+func (m Model) Vth(l float64) float64 {
+	return m.Vth0 - m.DVth*math.Exp(-l/m.LSce)
+}
+
+// IOn returns the saturation drive current for width w and length l in
+// nm: K * (w/l) * (Vdd - Vth(l))^alpha. Non-conducting (Vth >= Vdd)
+// devices return 0.
+func (m Model) IOn(w, l float64) float64 {
+	if l <= 0 || w <= 0 {
+		return 0
+	}
+	ov := m.Vdd - m.Vth(l)
+	if ov <= 0 {
+		return 0
+	}
+	return m.K * (w / l) * math.Pow(ov, m.Alpha)
+}
+
+// ILeak returns the subthreshold leakage for width w and length l.
+// Exponential in Vth, so short printed slices dominate a device's
+// leakage.
+func (m Model) ILeak(w, l float64) float64 {
+	if l <= 0 || w <= 0 {
+		return 0
+	}
+	return m.I0 * (w / l) * math.Pow(10, -m.Vth(l)/m.S)
+}
+
+// Slice is one strip of a (possibly non-rectangular) gate: a piece of
+// transistor width w with local channel length l, both nm.
+type Slice struct {
+	W, L float64
+}
+
+// SliceIOn returns the drive of a sliced gate: slices conduct in
+// parallel.
+func (m Model) SliceIOn(slices []Slice) float64 {
+	var sum float64
+	for _, s := range slices {
+		sum += m.IOn(s.W, s.L)
+	}
+	return sum
+}
+
+// SliceILeak returns the leakage of a sliced gate.
+func (m Model) SliceILeak(slices []Slice) float64 {
+	var sum float64
+	for _, s := range slices {
+		sum += m.ILeak(s.W, s.L)
+	}
+	return sum
+}
+
+// TotalW returns the summed width of the slices.
+func TotalW(slices []Slice) float64 {
+	var w float64
+	for _, s := range slices {
+		w += s.W
+	}
+	return w
+}
+
+// EquivalentL solves for the single rectangular channel length whose
+// uniform device of the same total width matches the sliced gate's
+// current: IOn for delay (forLeak=false) or ILeak (forLeak=true).
+// Bisection over [LNom/3, 3*LNom]; returns LNom when the slices carry
+// no current.
+func (m Model) EquivalentL(slices []Slice, forLeak bool) float64 {
+	w := TotalW(slices)
+	if w <= 0 {
+		return m.LNom
+	}
+	var target float64
+	if forLeak {
+		target = m.SliceILeak(slices)
+	} else {
+		target = m.SliceIOn(slices)
+	}
+	if target <= 0 {
+		return m.LNom
+	}
+	f := func(l float64) float64 {
+		if forLeak {
+			return m.ILeak(w, l)
+		}
+		return m.IOn(w, l)
+	}
+	lo, hi := m.LNom/3, m.LNom*3
+	// Both IOn and ILeak decrease with l; find l with f(l) = target.
+	if target >= f(lo) {
+		return lo
+	}
+	if target <= f(hi) {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ExtractSlices slices the printed gate region (poly-over-diff, as
+// rects) perpendicular to the channel. For a vertical poly finger the
+// channel runs in x and the width in y: each step-NM horizontal strip
+// yields one slice whose local L is the strip's printed x-extent.
+func ExtractSlices(gate []geom.Rect, vertical bool, stepNM int64) []Slice {
+	norm := geom.Normalize(gate)
+	if len(norm) == 0 {
+		return nil
+	}
+	if stepNM <= 0 {
+		stepNM = 5
+	}
+	bb := geom.BBoxOf(norm)
+	var out []Slice
+	if vertical {
+		for y := bb.Y0; y < bb.Y1; y += stepNM {
+			h := stepNM
+			if y+h > bb.Y1 {
+				h = bb.Y1 - y
+			}
+			strip := geom.Intersect(norm, []geom.Rect{geom.R(bb.X0, y, bb.X1, y+h)})
+			a := geom.AreaOf(strip)
+			if a == 0 {
+				continue
+			}
+			out = append(out, Slice{W: float64(h), L: float64(a) / float64(h)})
+		}
+	} else {
+		for x := bb.X0; x < bb.X1; x += stepNM {
+			w := stepNM
+			if x+w > bb.X1 {
+				w = bb.X1 - x
+			}
+			strip := geom.Intersect(norm, []geom.Rect{geom.R(x, bb.Y0, x+w, bb.Y1)})
+			a := geom.AreaOf(strip)
+			if a == 0 {
+				continue
+			}
+			out = append(out, Slice{W: float64(w), L: float64(a) / float64(w)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package device
+
+import "math"
+
+// Layout-dependent effects: first-order well-proximity and
+// stress-proximity models. Both shift device parameters as a function
+// of distances measurable from layout, which is all the 28nm-era
+// LDE-aware timing flows consume.
+
+// LDE holds the layout context distances of one device, nm.
+type LDE struct {
+	// WellEdgeDist is the distance from the gate to the nearest well
+	// edge (well-proximity effect: scattered implant ions raise Vth
+	// near the well photoresist edge).
+	WellEdgeDist float64
+	// SA and SB are the source/drain diffusion extents from the gate
+	// to the STI edge (stress effect on mobility).
+	SA, SB float64
+}
+
+// LDEModel holds effect magnitudes.
+type LDEModel struct {
+	// WPEMax is the maximum Vth shift at the well edge, V.
+	WPEMax float64
+	// WPELambda is the decay length, nm.
+	WPELambda float64
+	// StressK scales the mobility gain of compressive stress:
+	// mu' = mu * (1 + StressK*(1/SA + 1/SB) * SRef).
+	StressK float64
+	SRef    float64
+}
+
+// DefaultLDE returns 45nm-era magnitudes.
+func DefaultLDE() LDEModel {
+	return LDEModel{WPEMax: 0.03, WPELambda: 1500, StressK: 0.08, SRef: 500}
+}
+
+// DVth returns the well-proximity threshold shift for the context.
+func (m LDEModel) DVth(c LDE) float64 {
+	if c.WellEdgeDist <= 0 {
+		return m.WPEMax
+	}
+	return m.WPEMax * math.Exp(-c.WellEdgeDist/m.WPELambda)
+}
+
+// MobilityFactor returns the stress-induced drive multiplier for the
+// context (longer diffusion = more stress = faster PMOS).
+func (m LDEModel) MobilityFactor(c LDE) float64 {
+	sa, sb := c.SA, c.SB
+	if sa <= 0 {
+		sa = m.SRef
+	}
+	if sb <= 0 {
+		sb = m.SRef
+	}
+	return 1 + m.StressK*(2-m.SRef/sa-m.SRef/sb)/2
+}
+
+// Apply returns a copy of the device model with the LDE context folded
+// in: Vth shifted, drive scaled.
+func (m LDEModel) Apply(dev Model, c LDE) Model {
+	out := dev
+	out.Vth0 += m.DVth(c)
+	out.K *= m.MobilityFactor(c)
+	return out
+}

@@ -1,0 +1,30 @@
+package dfm
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+func TestEvalDPT(t *testing.T) {
+	tt := tech.N45()
+	o := EvalDPT(tt, layout.BlockOpts{Rows: 2, RowWidth: 8000, Nets: 12, MaxFan: 3, Seed: 5})
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	p, _ := o.Primary()
+	// Stitching must not increase conflicts.
+	if p.After > p.Before {
+		t.Fatalf("stitching increased conflicts: %+v", p)
+	}
+	// Composite score must not degrade.
+	for _, m := range o.Metrics {
+		if m.Name == "composite score" && m.After < m.Before-1e-9 {
+			t.Fatalf("stitching degraded the composite: %+v", m)
+		}
+	}
+	if o.CostFrac < 0 {
+		t.Fatalf("negative cost: %v", o.CostFrac)
+	}
+}

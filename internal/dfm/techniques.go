@@ -1,0 +1,495 @@
+package dfm
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/drc"
+	"repro/internal/dvia"
+	"repro/internal/fill"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/litho"
+	"repro/internal/opc"
+	"repro/internal/pattern"
+	"repro/internal/sta"
+	"repro/internal/tech"
+	yieldpkg "repro/internal/yield"
+)
+
+// Technique evaluators: each applies one DFM technology to a synthetic
+// workload and returns before/after metrics. These are the experiment
+// engines behind the T/F benchmarks in bench_test.go.
+
+// FullChipVias is the via count the per-block redundancy statistics
+// are extrapolated to — the scale at which the panel's yield argument
+// plays out.
+const FullChipVias = 1e8
+
+// EvalRedundantVia measures the via-yield movement of double-via
+// insertion on a routed block, extrapolated to full-chip via counts.
+func EvalRedundantVia(t *tech.Tech, opts layout.BlockOpts) Outcome {
+	start := time.Now()
+	o := Outcome{Technique: "redundant-via"}
+	l, err := layout.GenerateBlock(t, opts)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	flat := l.Flatten()
+	g := dvia.EvaluateInsertion(flat, t)
+
+	nb := g.SinglesBefore + 2*g.PairsBefore
+	na := g.SinglesAfter + 2*g.PairsAfter
+	fracSingleBefore := 1.0
+	if nb > 0 {
+		fracSingleBefore = float64(g.SinglesBefore) / float64(nb)
+	}
+	fracSingleAfter := 1.0
+	if na > 0 {
+		fracSingleAfter = float64(g.SinglesAfter) / float64(na)
+	}
+	// Full-chip extrapolation uses a production-grade per-via failure
+	// rate; the node's ViaFailProb is inflated for block-scale
+	// visibility.
+	const pChip = 1e-9
+	chipYield := func(fracSingle float64) float64 {
+		singles := fracSingle * FullChipVias
+		pairs := (1 - fracSingle) / 2 * FullChipVias
+		return yieldpkg.ViaYield(int(singles), int(pairs), pChip)
+	}
+
+	o.Metrics = []Metric{
+		{Name: "full-chip via yield", Before: chipYield(fracSingleBefore),
+			After: chipYield(fracSingleAfter), Unit: "frac", HigherIsBetter: true, Primary: true},
+		{Name: "block via yield", Before: g.Before, After: g.After, Unit: "frac", HigherIsBetter: true},
+		{Name: "single-via fraction", Before: fracSingleBefore, After: fracSingleAfter,
+			Unit: "frac", HigherIsBetter: false},
+	}
+	o.CostFrac = 0 // cuts only; no area, no timing
+	o.CostNote = fmt.Sprintf("%d extra cuts, %d landing bars", g.AddedCuts, len(g.Report.AddedShapes)-g.AddedCuts)
+	o.Runtime = time.Since(start)
+	o.Judge(0.02, 0.10)
+	return o
+}
+
+// EvalDummyFill measures density uniformity and CMP planarity gains of
+// metal fill against its added-metal cost.
+func EvalDummyFill(t *tech.Tech, opts layout.BlockOpts) Outcome {
+	start := time.Now()
+	o := Outcome{Technique: "dummy-fill"}
+	l, err := layout.GenerateBlock(t, opts)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	flat := l.Flatten()
+	// Die-level view: the placed block sits inside a die with empty
+	// margin — the density cliff CMP fill exists to flatten.
+	m1 := layout.ByLayer(flat)[tech.Metal1]
+	extent := geom.BBoxOf(m1).Bloat(6000)
+	fo := fill.DefaultOpts()
+	fo.Window, fo.Step = 3000, 1500
+
+	before := fill.Analyze(m1, extent, fo.Window, fo.Step)
+	tiles := fill.Synthesize(m1, extent, fo)
+	after := fill.Analyze(append(append([]geom.Rect{}, m1...), tiles...), extent, fo.Window, fo.Step)
+	cmp := fill.DefaultCMP()
+
+	bs, as := before.Summarize(), after.Summarize()
+	o.Metrics = []Metric{
+		{Name: "density sigma", Before: bs.Sigma, After: as.Sigma, Unit: "frac", HigherIsBetter: false, Primary: true},
+		{Name: "density min", Before: bs.Min, After: as.Min, Unit: "frac", HigherIsBetter: true},
+		{Name: "CMP thickness range", Before: cmp.ThicknessRange(before), After: cmp.ThicknessRange(after), Unit: "nm", HigherIsBetter: false},
+		{Name: "max density gradient", Before: bs.MaxGradient, After: as.MaxGradient, Unit: "frac", HigherIsBetter: false},
+	}
+	tileArea := int64(0)
+	for _, tl := range tiles {
+		tileArea += tl.Area()
+	}
+	if a := extent.Area(); a > 0 {
+		o.CostFrac = float64(tileArea) / float64(a)
+	}
+	o.CostNote = fmt.Sprintf("%d dummy tiles (dead metal; electrically cheap, so the cost cap is loose)", len(tiles))
+	o.Runtime = time.Since(start)
+	o.Judge(0.10, 0.40)
+	return o
+}
+
+// EvalOPCAccuracy compares EPE statistics of uncorrected, rule-based,
+// and model-based OPC masks on a mixed dense/iso/line-end workload.
+func EvalOPCAccuracy(t *tech.Tech) Outcome {
+	start := time.Now()
+	o := Outcome{Technique: "model-opc"}
+	var drawn []geom.Rect
+	for i := int64(0); i < 4; i++ {
+		drawn = append(drawn, geom.R(i*140, 0, i*140+70, 1200))
+	}
+	drawn = append(drawn, geom.R(1200, 0, 1270, 1200)) // isolated line
+	drawn = append(drawn, geom.R(1500, 0, 1570, 500))  // line end pair
+	drawn = append(drawn, geom.R(1500, 650, 1570, 1200))
+	drawn = geom.Normalize(drawn)
+	window := geom.BBoxOf(drawn).Bloat(400)
+
+	rms := func(mask []geom.Rect) float64 {
+		img := litho.Simulate(mask, window, t.Optics, litho.Nominal)
+		return litho.SummarizeEPE(img.MeasureEPE(drawn, 150)).RMS
+	}
+	none := rms(drawn)
+	rule := rms(opc.RuleBased(drawn, opc.DefaultRuleOpts()))
+	model := rms(opc.ModelBased(drawn, window, t.Optics, opc.DefaultModelOpts()).Mask)
+
+	// Inverse OPC is compared on the isolated structure it is scoped
+	// for (see BenchmarkAblationILTvsModel); the pixel solver's hinge
+	// bands overlap on sub-2*Band dense pitches, where edge-based OPC
+	// remains the production answer.
+	o.Metrics = []Metric{
+		{Name: "RMS EPE (model OPC)", Before: none, After: model, Unit: "nm", HigherIsBetter: false, Primary: true},
+		{Name: "RMS EPE (rule OPC)", Before: none, After: rule, Unit: "nm", HigherIsBetter: false},
+	}
+	o.CostFrac = 0
+	o.CostNote = "mask data volume and OPC compute"
+	o.Runtime = time.Since(start)
+	o.Judge(0.30, 0.10)
+	return o
+}
+
+// EvalSRAF measures process-window extension from assist features on
+// an isolated line.
+func EvalSRAF(t *tech.Tech) Outcome {
+	start := time.Now()
+	o := Outcome{Technique: "sraf"}
+	drawn := []geom.Rect{geom.R(0, 0, 70, 3000)}
+	window := geom.R(-450, 1200, 550, 1800)
+	defocus := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120}
+	dose := []float64{0.92, 0.96, 1.0, 1.04, 1.08}
+
+	measure := func(mask []geom.Rect) (dof float64, cdDelta float64) {
+		cd0, ok := litho.Simulate(mask, window, t.Optics, litho.Nominal).CDAt(35, 1500, true)
+		if !ok {
+			return 0, math.Inf(1)
+		}
+		spec := litho.CDSpec{Target: cd0, Tol: 0.10}
+		pts := litho.FEMatrix(mask, window, t.Optics, 35, 1500, true, spec, defocus, dose)
+		dof = litho.DepthOfFocus(pts, defocus)
+		cdF, okF := litho.Simulate(mask, window, t.Optics, litho.Condition{Defocus: 80, Dose: 1}).CDAt(35, 1500, true)
+		if !okF {
+			return dof, cd0 // feature lost entirely: count the full CD
+		}
+		return dof, math.Abs(cd0 - cdF)
+	}
+	bare := geom.Normalize(drawn)
+	dofB, dB := measure(bare)
+	dofS, dS := measure(opc.WithSRAF(bare, opc.DefaultSRAFOpts()))
+
+	o.Metrics = []Metric{
+		// The continuous through-focus CD stability leads; the
+		// grid-quantized DOF follows.
+		{Name: "CD shift @80nm defocus", Before: dB, After: dS, Unit: "nm", HigherIsBetter: false, Primary: true},
+		{Name: "depth of focus", Before: dofB, After: dofS, Unit: "nm", HigherIsBetter: true},
+	}
+	o.CostFrac = 0
+	o.CostNote = "mask complexity (assist shapes), MRC burden"
+	o.Runtime = time.Since(start)
+	o.Judge(0.15, 0.10)
+	return o
+}
+
+// StressCond is the off-nominal condition used to provoke printability
+// hotspots in the DRC Plus capture experiment.
+var StressCond = litho.Condition{Defocus: 110, Dose: 0.95}
+
+// EvalDRCPlus trains a pattern library from the litho hotspots of one
+// design and measures hotspot capture on a second design, against the
+// plain-DRC baseline.
+func EvalDRCPlus(t *tech.Tech, trainSeed, testSeed int64) Outcome {
+	start := time.Now()
+	o := Outcome{Technique: "drc-plus"}
+
+	makeM1 := func(seed int64) ([]geom.Rect, []litho.Hotspot, error) {
+		l, err := layout.GenerateBlock(t, layout.BlockOpts{
+			Rows: 2, RowWidth: 6000, Nets: 8, MaxFan: 3, Seed: seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		m1 := geom.Normalize(layout.ByLayer(l.Flatten())[tech.Metal1])
+		hs := litho.ScanLayer(m1, t, tech.Metal1, StressCond, 0, 0)
+		return m1, hs, nil
+	}
+
+	trainM1, trainHS, err := makeM1(trainSeed)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	testM1, testHS, err := makeM1(testSeed)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	if len(testHS) == 0 {
+		o.Err = fmt.Errorf("no hotspots on test design at stress condition")
+		return o
+	}
+
+	// Train: extract a pattern at the geometry corner nearest each
+	// training hotspot.
+	const radius = 200
+	matcher := pattern.NewMatcher(radius)
+	ix := geom.NewIndex(4 * radius)
+	ix.InsertAll(trainM1)
+	anchors := pattern.Anchors(trainM1)
+	for i, h := range trainHS {
+		a, ok := nearestAnchor(anchors, h.Box.Center(), 400)
+		if !ok {
+			continue
+		}
+		p := pattern.ExtractAtIndexed(ix, a, radius)
+		if p.Empty() {
+			continue
+		}
+		matcher.AddEntry(&pattern.LibEntry{
+			Name:  fmt.Sprintf("hs%d", i),
+			P:     p,
+			Exact: true,
+		})
+	}
+
+	// Plain-DRC baseline capture on the test design.
+	deck := drc.StandardDeck(t)
+	res := deck.Run(drc.NewContext(t, shapesOf(testM1)))
+	drcCaught := 0
+	for _, h := range testHS {
+		for _, v := range res.Violations {
+			if v.Marker.Bloat(300).Overlaps(h.Box) {
+				drcCaught++
+				break
+			}
+		}
+	}
+
+	// Pattern capture.
+	matches := matcher.ScanLayer(testM1)
+	patCaught := 0
+	for _, h := range testHS {
+		c := h.Box.Center()
+		for _, m := range matches {
+			if c.ChebyshevDist(m.At) <= 400 {
+				patCaught++
+				break
+			}
+		}
+	}
+
+	n := float64(len(testHS))
+	o.Metrics = []Metric{
+		{Name: "hotspot capture rate", Before: float64(drcCaught) / n,
+			After: float64(patCaught) / n, Unit: "frac", HigherIsBetter: true, Primary: true},
+		{Name: "library size", Before: 0, After: float64(matcher.Len()), Unit: "patterns", HigherIsBetter: true},
+		{Name: "test hotspots", Before: n, After: n, Unit: "sites"},
+	}
+	o.CostFrac = 0
+	o.CostNote = fmt.Sprintf("%d pattern rules to maintain; %d matches to review", matcher.Len(), len(matches))
+	o.Runtime = time.Since(start)
+	o.Judge(0.10, 0.10)
+	return o
+}
+
+func shapesOf(rs []geom.Rect) []layout.Shape {
+	out := make([]layout.Shape, len(rs))
+	for i, r := range rs {
+		out[i] = layout.Shape{Layer: tech.Metal1, R: r, Net: layout.NoNet}
+	}
+	return out
+}
+
+func nearestAnchor(anchors []geom.Point, p geom.Point, maxDist int64) (geom.Point, bool) {
+	best := geom.Point{}
+	bestD := maxDist + 1
+	for _, a := range anchors {
+		if d := a.ChebyshevDist(p); d < bestD {
+			best, bestD = a, d
+		}
+	}
+	return best, bestD <= maxDist
+}
+
+// GateLengths holds the litho-extracted equivalent channel lengths per
+// gate type.
+type GateLengths struct {
+	Delay map[circuit.GateType]float64
+	Leak  map[circuit.GateType]float64
+}
+
+// ExtractGateLengths simulates each standard cell's poly layer
+// (optionally after model OPC), intersects the printed contours with
+// the drawn diffusion, slices the non-rectangular gates, and returns
+// the delay- and leakage-equivalent lengths per gate type — the
+// post-OPC extraction step of the litho-aware timing flow.
+func ExtractGateLengths(t *tech.Tech, cond litho.Condition, useOPC bool) GateLengths {
+	lib := layout.NewLib(t)
+	nmos := device.NMOS45()
+	gl := GateLengths{
+		Delay: make(map[circuit.GateType]float64),
+		Leak:  make(map[circuit.GateType]float64),
+	}
+	for _, gt := range []circuit.GateType{circuit.Inv, circuit.Nand2, circuit.Nor2, circuit.Buf} {
+		cell, err := lib.Cell(gt.CellName())
+		if err != nil {
+			continue
+		}
+		poly := geom.Normalize(cell.LayerRects(tech.Poly))
+		diff := geom.Normalize(cell.LayerRects(tech.Diff))
+		window := cell.BBox().Bloat(300)
+		mask := poly
+		if useOPC {
+			mo := opc.DefaultModelOpts()
+			mask = opc.ModelBased(poly, window, t.Optics, mo).Mask
+		}
+		img := litho.Simulate(mask, window, t.Optics, cond)
+		printed := img.PrintedRects()
+		gates := geom.Intersect(printed, diff)
+		comps := drc.Components(geom.Normalize(gates))
+		var wSum, dSum, kSum float64
+		for _, comp := range comps {
+			slices := device.ExtractSlices(comp, true, 5)
+			w := device.TotalW(slices)
+			if w <= 0 {
+				continue
+			}
+			dSum += nmos.EquivalentL(slices, false) * w
+			kSum += nmos.EquivalentL(slices, true) * w
+			wSum += w
+		}
+		if wSum > 0 {
+			gl.Delay[gt] = dSum / wSum
+			gl.Leak[gt] = kSum / wSum
+		} else {
+			// Gates failed to print at this condition: dead silicon.
+			gl.Delay[gt] = nmos.LNom * 3
+			gl.Leak[gt] = nmos.LNom
+		}
+	}
+	return gl
+}
+
+// EvalLithoTiming quantifies the signoff error removed by litho-aware
+// timing: STA with drawn lengths versus STA with post-OPC extracted
+// lengths, on a random logic block.
+func EvalLithoTiming(t *tech.Tech, netSeed int64) Outcome {
+	start := time.Now()
+	o := Outcome{Technique: "litho-aware-timing"}
+	nl := circuit.RandomLogic(10, 14, 16, netSeed)
+	lib := sta.DefaultLib()
+
+	drawn := sta.Analyze(nl, lib, sta.Lengths{}, 0)
+	period := drawn.Arrival[drawn.Critical[len(drawn.Critical)-1]]
+
+	gl := ExtractGateLengths(t, litho.Nominal, true)
+	lens := sta.TypeLengths(nl, gl.Delay, gl.Leak)
+	silicon := sta.Analyze(nl, lib, lens, period)
+
+	slackErr := math.Abs(silicon.WNS) / period
+	rankDist := sta.RankDistance(sta.PathRank(nl, drawn), sta.PathRank(nl, silicon))
+	leakErr := math.Abs(silicon.LeakTotal-drawn.LeakTotal) / drawn.LeakTotal
+
+	o.Metrics = []Metric{
+		{Name: "unmodeled slack error", Before: slackErr, After: 0, Unit: "frac of period", HigherIsBetter: false, Primary: true},
+		{Name: "path rank churn", Before: rankDist, After: 0, Unit: "frac inversions", HigherIsBetter: false},
+		{Name: "unmodeled leakage error", Before: leakErr, After: 0, Unit: "frac", HigherIsBetter: false},
+	}
+	o.CostFrac = 0
+	o.CostNote = "litho simulation + extraction in the signoff loop"
+	o.Runtime = time.Since(start)
+	o.Judge(0.02, 0.10)
+	return o
+}
+
+// EvalRestrictedRules compares the restricted node against baseline:
+// printability robustness gained versus area paid.
+func EvalRestrictedRules(t *tech.Tech) Outcome {
+	start := time.Now()
+	o := Outcome{Technique: "restricted-rules"}
+	base := t
+	restr := tech.N45R()
+
+	// Area: the same library cells under both rule sets.
+	areaOf := func(tt *tech.Tech) float64 {
+		lib := layout.NewLib(tt)
+		var a float64
+		for _, n := range lib.Names {
+			bb := lib.Cells[n].BBox()
+			a += float64(bb.Width()) * float64(tt.CellHeight)
+		}
+		return a
+	}
+	aBase, aRestr := areaOf(base), areaOf(restr)
+
+	// Printability: PV band area fraction of metal1 line/space at each
+	// node's minimum pitch — the dimension the restricted rules relax.
+	bandFrac := func(tt *tech.Tech) float64 {
+		r := tt.Rules[tech.Metal1]
+		cell := layout.LineSpace(tt, tech.Metal1, r.MinWidth, r.MinSpace, 3000, 7)
+		m1 := geom.Normalize(cell.LayerRects(tech.Metal1))
+		window := cell.BBox().BloatXY(200, -800) // interior band, away from line ends
+		pv := litho.ComputePVBand(m1, window, tt.Optics, litho.StandardCorners(120, 0.05))
+		covered := geom.AreaOf(geom.Intersect(m1, []geom.Rect{window}))
+		if covered > 0 {
+			return float64(pv.BandArea()) / float64(covered)
+		}
+		return 0
+	}
+	bBase, bRestr := bandFrac(base), bandFrac(restr)
+
+	// Through-focus CD loss of the minimum line.
+	cdLoss := func(tt *tech.Tech) float64 {
+		r := tt.Rules[tech.Metal1]
+		cell := layout.LineSpace(tt, tech.Metal1, r.MinWidth, r.MinSpace, 3000, 7)
+		m1 := cell.LayerRects(tech.Metal1)
+		x := float64(3*r.Pitch + r.MinWidth/2) // center line
+		win := geom.R(int64(x)-700, 1200, int64(x)+700, 1800)
+		cd0, ok0 := litho.Simulate(m1, win, tt.Optics, litho.Nominal).CDAt(x, 1500, true)
+		cdF, okF := litho.Simulate(m1, win, tt.Optics, litho.Condition{Defocus: 120, Dose: 1}).CDAt(x, 1500, true)
+		if !ok0 {
+			return math.Inf(1)
+		}
+		if !okF {
+			return cd0
+		}
+		return math.Abs(cd0 - cdF)
+	}
+	cBase, cRestr := cdLoss(base), cdLoss(restr)
+
+	o.Metrics = []Metric{
+		{Name: "M1 PV band fraction", Before: bBase, After: bRestr, Unit: "frac", HigherIsBetter: false, Primary: true},
+		{Name: "M1 CD loss @120nm defocus", Before: cBase, After: cRestr, Unit: "nm", HigherIsBetter: false},
+		{Name: "library cell area", Before: aBase, After: aRestr, Unit: "nm2", HigherIsBetter: false},
+	}
+	if aBase > 0 {
+		o.CostFrac = (aRestr - aBase) / aBase
+	}
+	o.CostNote = "area growth under restricted pitches"
+	o.Runtime = time.Since(start)
+	o.Judge(0.05, 0.10)
+	return o
+}
+
+// RunAll evaluates every technique with default workloads and returns
+// the scorecard — the panel's question, answered end to end.
+func RunAll(t *tech.Tech, seed int64) *Scorecard {
+	sc := &Scorecard{}
+	blockOpts := layout.BlockOpts{Rows: 3, RowWidth: 10000, Nets: 15, MaxFan: 3, Seed: seed}
+	sc.Add(EvalRedundantVia(t, blockOpts))
+	sc.Add(EvalDummyFill(t, blockOpts))
+	sc.Add(EvalOPCAccuracy(t))
+	sc.Add(EvalSRAF(t))
+	sc.Add(EvalDRCPlus(t, seed, seed+1))
+	sc.Add(EvalLithoTiming(t, seed))
+	sc.Add(EvalRestrictedRules(t))
+	sc.Add(EvalDPT(t, blockOpts))
+	return sc
+}

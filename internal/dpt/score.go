@@ -1,0 +1,52 @@
+package dpt
+
+import "repro/internal/geom"
+
+// Decomposition quality scoring (the "scoring methodology for
+// quantitatively evaluating the quality of double patterning
+// technology-compliant layouts"): each component maps to [0, 1] with 1
+// optimal, and the composite is their weighted mean. Scores let flows
+// choose among alternative legal decompositions rather than accepting
+// the first 2-coloring found.
+
+// Score is the component and composite quality of one decomposition.
+type Score struct {
+	// Balance is 1 - |A0-A1|/(A0+A1): equal mask loading etches
+	// uniformly.
+	Balance float64
+	// StitchQuality is the mean adequacy of stitch overlaps versus the
+	// target overlap (tiny overlaps open under mask misalignment).
+	StitchQuality float64
+	// ConflictFree is 1/(1+conflicts).
+	ConflictFree float64
+	// Composite is the weighted mean (balance 0.3, stitch 0.3,
+	// conflicts 0.4 — an unresolved conflict is a broken layer).
+	Composite float64
+}
+
+// ScoreDecomposition evaluates the result against a target stitch
+// overlap length (nm).
+func (r *Result) ScoreDecomposition(targetOverlap int64) Score {
+	var s Score
+	s.Balance = 1 - r.DensityBalance()
+
+	// Stitch regions are where the two masks overlap.
+	stitches := geom.Intersect(r.MaskRects(0), r.MaskRects(1))
+	if len(stitches) == 0 {
+		s.StitchQuality = 1 // no stitches: nothing to misalign
+	} else {
+		var q float64
+		for _, st := range stitches {
+			adequacy := float64(st.MinDim()) / float64(2*targetOverlap)
+			if adequacy > 1 {
+				adequacy = 1
+			}
+			q += adequacy
+		}
+		s.StitchQuality = q / float64(len(stitches))
+	}
+
+	s.ConflictFree = 1 / float64(1+len(r.Conflicts))
+	s.Composite = 0.3*s.Balance + 0.3*s.StitchQuality + 0.4*s.ConflictFree
+	return s
+}

@@ -1,0 +1,63 @@
+package dpt
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestScoreCleanDecomposition(t *testing.T) {
+	res := Decompose(lines(6, 50, 150, 1000), 150, false, 0)
+	s := res.ScoreDecomposition(40)
+	if s.ConflictFree != 1 {
+		t.Fatalf("conflict-free = %v", s.ConflictFree)
+	}
+	if s.StitchQuality != 1 {
+		t.Fatalf("no stitches, quality = %v", s.StitchQuality)
+	}
+	if s.Balance < 0.6 {
+		t.Fatalf("alternating lines balance = %v", s.Balance)
+	}
+	if s.Composite <= 0.8 {
+		t.Fatalf("clean decomposition composite = %v", s.Composite)
+	}
+}
+
+func TestScorePenalizesConflicts(t *testing.T) {
+	clean := Decompose(lines(6, 50, 150, 1000), 150, false, 0)
+	conflicted := Decompose(triangle(), 150, false, 0)
+	sc := clean.ScoreDecomposition(40)
+	sb := conflicted.ScoreDecomposition(40)
+	if sb.ConflictFree >= 1 {
+		t.Fatalf("conflicts not penalized: %v", sb.ConflictFree)
+	}
+	if sb.Composite >= sc.Composite {
+		t.Fatalf("conflicted composite %v >= clean %v", sb.Composite, sc.Composite)
+	}
+}
+
+func TestScoreStitchQuality(t *testing.T) {
+	// The fixable odd cycle from the stitch test: stitches exist, with
+	// overlap 40 against a target of 40 -> quality below 1 only if the
+	// overlaps are thin. With target 200 the same stitches score low.
+	rs := []geom.Rect{
+		geom.R(0, 0, 2000, 100),
+		geom.R(0, 180, 100, 1000),
+		geom.R(0, 900, 980, 1000),
+		geom.R(1900, 180, 2000, 1000),
+		geom.R(1020, 900, 2000, 1000),
+	}
+	res := Decompose(rs, 150, true, 40)
+	if res.Stitches == 0 {
+		t.Skip("fixture no longer stitches")
+	}
+	tight := res.ScoreDecomposition(40)
+	loose := res.ScoreDecomposition(200)
+	if tight.StitchQuality <= loose.StitchQuality {
+		t.Fatalf("stitch quality should drop with a stricter target: %v vs %v",
+			tight.StitchQuality, loose.StitchQuality)
+	}
+	if loose.StitchQuality <= 0 || loose.StitchQuality > 1 {
+		t.Fatalf("stitch quality out of range: %v", loose.StitchQuality)
+	}
+}

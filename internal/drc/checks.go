@@ -1,0 +1,257 @@
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Edge-based dimensional checks. Width and spacing are both "facing
+// edge pair" scans: a bottom edge (interior above) facing a top edge
+// (interior below) bounds interior material between them (a width
+// measurement); the reversed pair bounds exterior space (a spacing
+// measurement). A candidate pair only violates if the region strictly
+// between the edges is entirely interior (width) or entirely exterior
+// (spacing) — that area test suppresses false pairs across holes or
+// intervening shapes. The same scan runs transposed for the horizontal
+// dimension.
+
+// MinWidth flags interior dimensions below W.
+type MinWidth struct {
+	Layer tech.Layer
+	W     int64
+}
+
+// Name implements Rule.
+func (r MinWidth) Name() string { return fmt.Sprintf("%s.width.%d", r.Layer, r.W) }
+
+// Check implements Rule.
+func (r MinWidth) Check(ctx *Context) []Violation {
+	return dimensionScan(ctx.Layers[r.Layer], r.W, true, func(m geom.Rect, d int64) Violation {
+		return Violation{
+			Rule:   r.Name(),
+			Layer:  r.Layer,
+			Marker: m,
+			Detail: fmt.Sprintf("width %d < %d", d, r.W),
+		}
+	})
+}
+
+// MinSpace flags exterior gaps below S, including corner-to-corner
+// gaps measured euclidean.
+type MinSpace struct {
+	Layer tech.Layer
+	S     int64
+}
+
+// Name implements Rule.
+func (r MinSpace) Name() string { return fmt.Sprintf("%s.space.%d", r.Layer, r.S) }
+
+// Check implements Rule.
+func (r MinSpace) Check(ctx *Context) []Violation {
+	rs := ctx.Layers[r.Layer]
+	vs := dimensionScan(rs, r.S, false, func(m geom.Rect, d int64) Violation {
+		return Violation{
+			Rule:   r.Name(),
+			Layer:  r.Layer,
+			Marker: m,
+			Detail: fmt.Sprintf("space %d < %d", d, r.S),
+		}
+	})
+	vs = append(vs, cornerScan(rs, r.S, r.Name(), r.Layer)...)
+	return vs
+}
+
+// dimensionScan finds facing-edge pairs closer than lim. interior
+// selects width (true) or spacing (false) semantics.
+func dimensionScan(rs []geom.Rect, lim int64, interior bool, mk func(geom.Rect, int64) Violation) []Violation {
+	if len(rs) == 0 {
+		return nil
+	}
+	edges := geom.BoundaryEdges(rs)
+
+	// Index edges by bounding box for the facing search.
+	ix := geom.NewIndex(4 * lim)
+	boxes := make([]geom.Rect, len(edges))
+	for i, e := range edges {
+		boxes[i] = geom.R(e.P0.X, e.P0.Y, e.P1.X, e.P1.Y)
+		ix.Insert(boxes[i])
+	}
+
+	var out []Violation
+	seen := make(map[geom.Rect]bool)
+	for i, e := range edges {
+		// Pick the "lower/left" member of each facing pair to avoid
+		// double reporting.
+		var wantSide geom.Side
+		switch {
+		case e.Horizontal() && interior && e.Interior == geom.Above:
+			wantSide = geom.Below // facing top edge
+		case e.Horizontal() && !interior && e.Interior == geom.Below:
+			wantSide = geom.Above // facing bottom edge across a gap
+		case !e.Horizontal() && interior && e.Interior == geom.Right:
+			wantSide = geom.Left
+		case !e.Horizontal() && !interior && e.Interior == geom.Left:
+			wantSide = geom.Right
+		default:
+			continue
+		}
+		// Search region: from this edge outward/upward by lim.
+		var search geom.Rect
+		if e.Horizontal() {
+			search = geom.R(e.P0.X, e.P0.Y+1, e.P1.X, e.P0.Y+lim-1)
+		} else {
+			search = geom.R(e.P0.X+1, e.P0.Y, e.P0.X+lim-1, e.P1.Y)
+		}
+		if search.Empty() {
+			// lim of 1: nothing can be closer.
+			continue
+		}
+		for _, id := range ix.Query(search) {
+			f := edges[id]
+			if f.Interior != wantSide || f.Horizontal() != e.Horizontal() {
+				continue
+			}
+			var marker geom.Rect
+			var dist int64
+			if e.Horizontal() {
+				if f.P0.Y <= e.P0.Y {
+					continue
+				}
+				x0 := max64(e.P0.X, f.P0.X)
+				x1 := min64(e.P1.X, f.P1.X)
+				if x0 >= x1 {
+					continue
+				}
+				dist = f.P0.Y - e.P0.Y
+				marker = geom.R(x0, e.P0.Y, x1, f.P0.Y)
+			} else {
+				if f.P0.X <= e.P0.X {
+					continue
+				}
+				y0 := max64(e.P0.Y, f.P0.Y)
+				y1 := min64(e.P1.Y, f.P1.Y)
+				if y0 >= y1 {
+					continue
+				}
+				dist = f.P0.X - e.P0.X
+				marker = geom.R(e.P0.X, y0, f.P0.X, y1)
+			}
+			if dist >= lim {
+				continue
+			}
+			// Validity: space between must be all-interior (width) or
+			// all-exterior (spacing).
+			cov := geom.AreaOf(geom.Intersect([]geom.Rect{marker}, rs))
+			if interior && cov != marker.Area() {
+				continue
+			}
+			if !interior && cov != 0 {
+				continue
+			}
+			if seen[marker] {
+				continue
+			}
+			seen[marker] = true
+			out = append(out, mk(marker, dist))
+		}
+		_ = i
+	}
+	return out
+}
+
+// cornerScan finds pairs of convex corners of distinct regions whose
+// euclidean separation is below s (the diagonal-spacing case the edge
+// scan cannot see).
+func cornerScan(rs []geom.Rect, s int64, rule string, layer tech.Layer) []Violation {
+	norm := geom.Normalize(rs)
+	if len(norm) == 0 {
+		return nil
+	}
+	ix := geom.NewIndex(4 * s)
+	ix.InsertAll(norm)
+	var out []Violation
+	seen := make(map[geom.Rect]bool)
+	for i, a := range norm {
+		for _, id := range ix.Query(a.Bloat(s)) {
+			if id <= i {
+				continue
+			}
+			b := norm[id]
+			gx, gy := a.GapX(b), a.GapY(b)
+			if gx <= 0 || gy <= 0 {
+				continue // handled by the edge scan (or same region)
+			}
+			if gx*gx+gy*gy >= s*s {
+				continue
+			}
+			// Marker: the diagonal gap box between the two rects.
+			marker := geom.R(
+				min64(a.X1, b.X1), min64(a.Y1, b.Y1),
+				max64(a.X0, b.X0), max64(a.Y0, b.Y0),
+			)
+			// Only a violation if the gap box is truly empty (not part
+			// of either region via other rects) and the corners belong
+			// to different connected regions.
+			if geom.AreaOf(geom.Intersect([]geom.Rect{marker}, norm)) != 0 {
+				continue
+			}
+			if seen[marker] {
+				continue
+			}
+			seen[marker] = true
+			out = append(out, Violation{
+				Rule:   rule,
+				Layer:  layer,
+				Marker: marker,
+				Detail: fmt.Sprintf("corner gap (%d,%d) < %d", gx, gy, s),
+			})
+		}
+	}
+	return out
+}
+
+// ViaSize requires via cuts to be exactly Size x Size.
+type ViaSize struct {
+	Layer tech.Layer
+	Size  int64
+}
+
+// Name implements Rule.
+func (r ViaSize) Name() string { return fmt.Sprintf("%s.size.%d", r.Layer, r.Size) }
+
+// Check implements Rule.
+func (r ViaSize) Check(ctx *Context) []Violation {
+	var out []Violation
+	// Use the raw shapes: size is a per-cut property that vanishes
+	// after normalization merges overlapping cuts.
+	for _, s := range ctx.Shapes {
+		if s.Layer != r.Layer {
+			continue
+		}
+		if s.R.Width() != r.Size || s.R.Height() != r.Size {
+			out = append(out, Violation{
+				Rule:   r.Name(),
+				Layer:  r.Layer,
+				Marker: s.R,
+				Detail: fmt.Sprintf("cut %dx%d != %dx%d", s.R.Width(), s.R.Height(), r.Size, r.Size),
+			})
+		}
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

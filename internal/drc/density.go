@@ -1,0 +1,135 @@
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// DensityWindow checks that the layer's pattern density inside every
+// Window x Window box of a stepped grid stays within [Min, Max]. CMP
+// dishing/erosion is driven by density gradients, which is why fabs
+// constrain it; the fill package exists to repair violations this rule
+// finds.
+type DensityWindow struct {
+	Layer  tech.Layer
+	Window int64
+	Min    float64
+	Max    float64
+}
+
+// Name implements Rule.
+func (r DensityWindow) Name() string { return fmt.Sprintf("%s.density", r.Layer) }
+
+// Check implements Rule.
+func (r DensityWindow) Check(ctx *Context) []Violation {
+	rs := ctx.Layers[r.Layer]
+	if len(rs) == 0 {
+		return nil
+	}
+	// Window the full layout extent, not just this layer, so sparse
+	// layers fail their min-density floor as they should.
+	var extent geom.Rect
+	for _, lrs := range ctx.Layers {
+		extent = extent.Union(geom.BBoxOf(lrs))
+	}
+	var out []Violation
+	for _, w := range WindowGrid(extent, r.Window, r.Window/2) {
+		d := DensityIn(rs, w)
+		if d < r.Min || d > r.Max {
+			out = append(out, Violation{
+				Rule:   r.Name(),
+				Layer:  r.Layer,
+				Marker: w,
+				Detail: fmt.Sprintf("density %.3f outside [%.2f, %.2f]", d, r.Min, r.Max),
+			})
+		}
+	}
+	return out
+}
+
+// WindowGrid tiles the extent with window-sized boxes stepped by step
+// (overlapping when step < window, as foundry density rules specify).
+// Windows are clipped to the extent; tiny clipped remainders (under a
+// half window) are merged into their neighbor rather than emitted.
+func WindowGrid(extent geom.Rect, window, step int64) []geom.Rect {
+	if extent.Empty() || window <= 0 || step <= 0 {
+		return nil
+	}
+	var out []geom.Rect
+	for y := extent.Y0; y < extent.Y1; y += step {
+		y1 := y + window
+		if y1 > extent.Y1 {
+			y1 = extent.Y1
+		}
+		for x := extent.X0; x < extent.X1; x += step {
+			x1 := x + window
+			if x1 > extent.X1 {
+				x1 = extent.X1
+			}
+			w := geom.R(x, y, x1, y1)
+			if w.Width() < window/2 || w.Height() < window/2 {
+				continue
+			}
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// DensityIn returns the fraction of the window covered by the rect set.
+func DensityIn(rs []geom.Rect, window geom.Rect) float64 {
+	if window.Empty() {
+		return 0
+	}
+	cov := geom.AreaOf(geom.Intersect(rs, []geom.Rect{window}))
+	return float64(cov) / float64(window.Area())
+}
+
+// Endcap requires poly gates to extend at least Ext past the diffusion
+// edge (insufficient endcap causes leaky corner devices). The demand
+// region is the gate dilated by Ext minus the diffusion; it must be
+// covered by poly.
+type Endcap struct {
+	Ext int64
+}
+
+// Name implements Rule.
+func (r Endcap) Name() string { return fmt.Sprintf("poly.endcap.%d", r.Ext) }
+
+// Check implements Rule.
+func (r Endcap) Check(ctx *Context) []Violation {
+	poly := ctx.Layers[tech.Poly]
+	diff := ctx.Layers[tech.Diff]
+	if len(poly) == 0 || len(diff) == 0 {
+		return nil
+	}
+	gates := geom.Intersect(poly, diff)
+	var out []Violation
+	for _, g := range Components(gates) {
+		bb := geom.BBoxOf(g)
+		// The endcap is only required in the gate's transit direction
+		// (where poly crosses the diff edge); the perpendicular sides
+		// are source/drain extension, governed by diff rules. Probe
+		// just past the gate bbox to find which way the poly runs.
+		mx := (bb.X0 + bb.X1) / 2
+		vertical := geom.CoversPoint(poly, geom.Pt(mx, bb.Y1+1)) ||
+			geom.CoversPoint(poly, geom.Pt(mx, bb.Y0-1))
+		band := bb.BloatXY(r.Ext, 0)
+		if vertical {
+			band = bb.BloatXY(0, r.Ext)
+		}
+		demand := geom.Subtract(geom.Intersect(geom.Dilate(g, r.Ext), []geom.Rect{band}), diff)
+		missing := geom.Subtract(demand, poly)
+		if geom.AreaOf(missing) > 0 {
+			out = append(out, Violation{
+				Rule:   r.Name(),
+				Layer:  tech.Poly,
+				Marker: geom.BBoxOf(missing),
+				Detail: fmt.Sprintf("gate endcap < %d", r.Ext),
+			})
+		}
+	}
+	return out
+}

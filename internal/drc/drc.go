@@ -1,0 +1,133 @@
+// Package drc implements the design-rule checker: the baseline
+// physical-verification tool DFM techniques are measured against.
+// Checks operate on the flattened layout, per layer: minimum width,
+// minimum spacing (edge-to-edge and corner-to-corner), via enclosure,
+// minimum area, density windows, and gate endcap extension. A Deck
+// bundles the rules derived from a technology; Run executes the deck
+// and returns located violations.
+package drc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// Violation is one located design-rule failure.
+type Violation struct {
+	Rule   string
+	Layer  tech.Layer
+	Marker geom.Rect // the offending region or measurement box
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s @ %v on %v: %s", v.Rule, v.Marker, v.Layer, v.Detail)
+}
+
+// Rule is one executable check.
+type Rule interface {
+	Name() string
+	Check(ctx *Context) []Violation
+}
+
+// Context carries the prepared layout data shared by all rules of one
+// run. Layer geometry is normalized once.
+type Context struct {
+	Tech   *tech.Tech
+	Layers map[tech.Layer][]geom.Rect // normalized
+	Shapes []layout.Shape             // original flat shapes (net-annotated)
+}
+
+// NewContext normalizes a flat shape list for checking.
+func NewContext(t *tech.Tech, flat []layout.Shape) *Context {
+	ctx := &Context{Tech: t, Layers: make(map[tech.Layer][]geom.Rect), Shapes: flat}
+	for l, rs := range layout.ByLayer(flat) {
+		ctx.Layers[l] = geom.Normalize(rs)
+	}
+	return ctx
+}
+
+// Deck is an ordered rule collection.
+type Deck struct {
+	Name  string
+	Rules []Rule
+}
+
+// Result is the outcome of running a deck.
+type Result struct {
+	Violations []Violation
+	ByRule     map[string]int
+}
+
+// Count returns the total violation count.
+func (r Result) Count() int { return len(r.Violations) }
+
+// Run executes every rule and aggregates the violations
+// deterministically (sorted by rule, then marker position).
+func (d *Deck) Run(ctx *Context) Result {
+	res := Result{ByRule: make(map[string]int)}
+	for _, rule := range d.Rules {
+		vs := rule.Check(ctx)
+		res.Violations = append(res.Violations, vs...)
+		res.ByRule[rule.Name()] += len(vs)
+	}
+	sort.Slice(res.Violations, func(i, j int) bool {
+		a, b := res.Violations[i], res.Violations[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Marker.Y0 != b.Marker.Y0 {
+			return a.Marker.Y0 < b.Marker.Y0
+		}
+		return a.Marker.X0 < b.Marker.X0
+	})
+	return res
+}
+
+// StandardDeck derives the full rule deck from a technology.
+func StandardDeck(t *tech.Tech) *Deck {
+	d := &Deck{Name: t.Name + ".deck"}
+	for l := tech.Layer(0); l < tech.NumLayers; l++ {
+		r := t.Rules[l]
+		if r.MinWidth > 0 && !l.IsVia() {
+			d.Rules = append(d.Rules, MinWidth{Layer: l, W: r.MinWidth})
+		}
+		if r.MinSpace > 0 && !l.IsVia() {
+			d.Rules = append(d.Rules, MinSpace{Layer: l, S: r.MinSpace})
+		}
+		if l.IsVia() && r.ViaSpace > 0 {
+			d.Rules = append(d.Rules, MinSpace{Layer: l, S: r.ViaSpace})
+		}
+		if l.IsVia() && r.ViaSize > 0 {
+			d.Rules = append(d.Rules, ViaSize{Layer: l, Size: r.ViaSize})
+		}
+		if l.IsVia() && r.ViaEnclosure > 0 {
+			d.Rules = append(d.Rules, Enclosure{Via: l, Metal: l.AboveOf(), End: r.ViaEnclosure, Side: r.ViaEncSide})
+		}
+		if r.MinArea > 0 {
+			d.Rules = append(d.Rules, MinArea{Layer: l, A: r.MinArea})
+		}
+	}
+	// Gate endcap: poly must extend 100nm past diff.
+	d.Rules = append(d.Rules, Endcap{Ext: 100})
+	return d
+}
+
+// DensityDeck returns the density-window checks, which are usually run
+// separately (signoff) because they need the full chip extent.
+func DensityDeck(t *tech.Tech, window int64) *Deck {
+	d := &Deck{Name: t.Name + ".density"}
+	for l := tech.Layer(0); l < tech.NumLayers; l++ {
+		r := t.Rules[l]
+		if r.MaxDensity > 0 {
+			d.Rules = append(d.Rules, DensityWindow{
+				Layer: l, Window: window, Min: r.MinDensity, Max: r.MaxDensity,
+			})
+		}
+	}
+	return d
+}

@@ -1,0 +1,126 @@
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Enclosure requires each cut on Via to be enclosed by Metal with at
+// least End on two opposite sides and Side on the other two, in either
+// orientation — the standard rectangular-enclosure via rule that lets
+// minimum-width wires carry vias with end extensions.
+type Enclosure struct {
+	Via   tech.Layer
+	Metal tech.Layer
+	End   int64
+	Side  int64
+}
+
+// Name implements Rule.
+func (r Enclosure) Name() string {
+	return fmt.Sprintf("%s.enc.%s.%d", r.Via, r.Metal, r.End)
+}
+
+// Check implements Rule.
+func (r Enclosure) Check(ctx *Context) []Violation {
+	metal := ctx.Layers[r.Metal]
+	covered := func(want geom.Rect) bool {
+		return geom.AreaOf(geom.Intersect([]geom.Rect{want}, metal)) == want.Area()
+	}
+	var out []Violation
+	for _, s := range ctx.Shapes {
+		if s.Layer != r.Via {
+			continue
+		}
+		if covered(s.R.BloatXY(r.End, r.Side)) || covered(s.R.BloatXY(r.Side, r.End)) {
+			continue
+		}
+		out = append(out, Violation{
+			Rule:   r.Name(),
+			Layer:  r.Via,
+			Marker: s.R,
+			Detail: fmt.Sprintf("cut not enclosed by %s by %d/%d in either orientation", r.Metal, r.End, r.Side),
+		})
+	}
+	return out
+}
+
+// MinArea requires every connected region on the layer to have at
+// least A nm^2 of area (small islands detach or lift during etch/CMP).
+type MinArea struct {
+	Layer tech.Layer
+	A     int64
+}
+
+// Name implements Rule.
+func (r MinArea) Name() string { return fmt.Sprintf("%s.area.%d", r.Layer, r.A) }
+
+// Check implements Rule.
+func (r MinArea) Check(ctx *Context) []Violation {
+	var out []Violation
+	for _, comp := range Components(ctx.Layers[r.Layer]) {
+		a := geom.AreaOf(comp)
+		if a < r.A {
+			out = append(out, Violation{
+				Rule:   r.Name(),
+				Layer:  r.Layer,
+				Marker: geom.BBoxOf(comp),
+				Detail: fmt.Sprintf("region area %d < %d", a, r.A),
+			})
+		}
+	}
+	return out
+}
+
+// Components groups a normalized rect set into connected regions
+// (touching counts as connected). Returned components are in
+// deterministic order (by first rect).
+func Components(norm []geom.Rect) [][]geom.Rect {
+	n := len(norm)
+	if n == 0 {
+		return nil
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	ix := geom.NewIndex(512)
+	ix.InsertAll(norm)
+	for i, r := range norm {
+		for _, id := range ix.Query(r) { // touch-inclusive
+			if id > i {
+				union(i, id)
+			}
+		}
+	}
+	groups := make(map[int][]geom.Rect)
+	var order []int
+	for i, r := range norm {
+		root := find(i)
+		if _, ok := groups[root]; !ok {
+			order = append(order, root)
+		}
+		groups[root] = append(groups[root], r)
+	}
+	out := make([][]geom.Rect, 0, len(order))
+	for _, root := range order {
+		out = append(out, groups[root])
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/pattern"
+	"repro/internal/tech"
+)
+
+// PatternRule wires a DRC Plus pattern library into a standard deck:
+// every match of a library pattern on the layer is reported as a
+// violation, so pattern checks run in the same signoff pass (and the
+// same Result bookkeeping) as dimensional rules. This is the "both
+// decks ship in the PDK and run in one tool" integration the
+// methodology papers describe.
+type PatternRule struct {
+	Layer   tech.Layer
+	Matcher *pattern.Matcher
+	// RuleName overrides the default name (useful when several decks
+	// carry different libraries).
+	RuleName string
+}
+
+// Name implements Rule.
+func (r PatternRule) Name() string {
+	if r.RuleName != "" {
+		return r.RuleName
+	}
+	return fmt.Sprintf("%s.drcplus", r.Layer)
+}
+
+// Check implements Rule.
+func (r PatternRule) Check(ctx *Context) []Violation {
+	if r.Matcher == nil {
+		return nil
+	}
+	rs := ctx.Layers[r.Layer]
+	if len(rs) == 0 {
+		return nil
+	}
+	var out []Violation
+	for _, m := range r.Matcher.ScanLayer(rs) {
+		out = append(out, Violation{
+			Rule:   r.Name(),
+			Layer:  r.Layer,
+			Marker: geom.R(m.At.X-r.Matcher.Radius, m.At.Y-r.Matcher.Radius, m.At.X+r.Matcher.Radius, m.At.Y+r.Matcher.Radius),
+			Detail: fmt.Sprintf("pattern %q matched (sim %.2f)", m.Entry.Name, m.Sim),
+		})
+	}
+	return out
+}

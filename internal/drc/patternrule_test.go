@@ -1,0 +1,72 @@
+package drc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/pattern"
+	"repro/internal/tech"
+)
+
+func TestPatternRuleInDeck(t *testing.T) {
+	tt := tech.N45()
+	// Library: a line-end-gap construct anchored at a tip corner.
+	target := []geom.Rect{geom.R(0, 0, 70, 500), geom.R(0, 600, 70, 1100)}
+	m := pattern.NewMatcher(150)
+	m.AddEntry(&pattern.LibEntry{
+		Name:  "tip-to-tip",
+		P:     pattern.ExtractAt(target, geom.Pt(0, 500), 150),
+		Exact: true,
+	})
+
+	deck := &Deck{Name: "plus", Rules: []Rule{
+		MinSpace{Layer: tech.Metal1, S: 70},
+		PatternRule{Layer: tech.Metal1, Matcher: m},
+	}}
+
+	// A layout containing the construct (100nm tip gap passes the 70nm
+	// space rule but matches the pattern).
+	shapes := []layout.Shape{
+		m1(geom.R(2000, 0, 2070, 500)),
+		m1(geom.R(2000, 600, 2070, 1100)),
+	}
+	res := deck.Run(NewContext(tt, shapes))
+	if res.ByRule["metal1.space.70"] != 0 {
+		t.Fatalf("tip gap wrongly flagged by spacing: %v", res.ByRule)
+	}
+	if res.ByRule["metal1.drcplus"] == 0 {
+		t.Fatalf("pattern rule missed the construct: %v", res.ByRule)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Rule == "metal1.drcplus" && strings.Contains(v.Detail, "tip-to-tip") {
+			found = true
+			if !v.Marker.Contains(geom.Pt(2000, 500)) {
+				t.Fatalf("marker %v not at the match site", v.Marker)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("pattern violation detail missing")
+	}
+
+	// Clean layout: no pattern hits.
+	clean := []layout.Shape{m1(geom.R(0, 0, 500, 500))}
+	if got := deck.Run(NewContext(tt, clean)); got.ByRule["metal1.drcplus"] != 0 {
+		t.Fatalf("false pattern hit on clean layout")
+	}
+}
+
+func TestPatternRuleNilAndNamed(t *testing.T) {
+	tt := tech.N45()
+	r := PatternRule{Layer: tech.Metal1}
+	if got := r.Check(NewContext(tt, nil)); got != nil {
+		t.Fatalf("nil matcher should be a no-op")
+	}
+	named := PatternRule{Layer: tech.Metal1, RuleName: "custom.deck"}
+	if named.Name() != "custom.deck" {
+		t.Fatalf("Name = %q", named.Name())
+	}
+}

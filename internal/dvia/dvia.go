@@ -1,0 +1,237 @@
+// Package dvia implements DRC-legal redundant-via insertion: for each
+// single-cut via, try to add a second cut next to it (with its metal
+// enclosure) without violating spacing to neighboring geometry. Via
+// failures dominate back-end defectivity, and doubling cuts is the
+// textbook "free" DFM yield technique — experiment T1 measures how
+// free it actually is.
+package dvia
+
+import (
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+	yieldpkg "repro/internal/yield"
+)
+
+// Opts controls insertion.
+type Opts struct {
+	// Layers to process (default: Via1, Via2).
+	Layers []tech.Layer
+}
+
+// Report summarizes one insertion run.
+type Report struct {
+	Candidates int // single vias examined
+	Inserted   int // second cuts added
+	// Coverage is Inserted/Candidates.
+	Coverage float64
+	// AddedShapes is the new geometry (cuts and pads).
+	AddedShapes []layout.Shape
+}
+
+// Insert finds single vias in the flat layout and returns the added
+// second cuts plus enclosure pads, checking cut spacing and metal
+// spacing against all existing geometry. The input is not modified;
+// callers append Report.AddedShapes.
+func Insert(flat []layout.Shape, t *tech.Tech, o Opts) Report {
+	layers := o.Layers
+	if len(layers) == 0 {
+		layers = []tech.Layer{tech.Via1, tech.Via2}
+	}
+	var rep Report
+
+	for _, vl := range layers {
+		rep.insertLayer(flat, t, vl)
+	}
+	if rep.Candidates > 0 {
+		rep.Coverage = float64(rep.Inserted) / float64(rep.Candidates)
+	}
+	return rep
+}
+
+// insertLayer processes one via layer.
+func (rep *Report) insertLayer(flat []layout.Shape, t *tech.Tech, vl tech.Layer) {
+	rules := t.Rules[vl]
+	vs, vsp := rules.ViaSize, rules.ViaSpace
+	below, above := vl.Below(), vl.AboveOf()
+
+	// Occupancy indexes: cuts on this layer, metal below, metal above.
+	cutIx := geom.NewIndex(1024)
+	var cutNets []layout.NetID
+	belowIx := geom.NewIndex(1024)
+	var belowNets []layout.NetID
+	aboveIx := geom.NewIndex(1024)
+	var aboveNets []layout.NetID
+	var cuts []layout.Shape
+	for _, s := range flat {
+		switch s.Layer {
+		case vl:
+			cutIx.Insert(s.R)
+			cutNets = append(cutNets, s.Net)
+			cuts = append(cuts, s)
+		case below:
+			belowIx.Insert(s.R)
+			belowNets = append(belowNets, s.Net)
+		case above:
+			aboveIx.Insert(s.R)
+			aboveNets = append(aboveNets, s.Net)
+		}
+	}
+
+	// Identify singles (no same-net partner within pairing distance).
+	pairDist := 3 * vs
+	for _, c := range cuts {
+		if c.Net == layout.NoNet {
+			continue
+		}
+		partner := false
+		cutIx.QueryFunc(c.R.Bloat(pairDist), func(id int, r geom.Rect) bool {
+			if r != c.R && cutNets[id] == c.Net && c.R.Distance(r) <= pairDist {
+				partner = true
+				return false
+			}
+			return true
+		})
+		if partner {
+			continue
+		}
+		rep.Candidates++
+
+		// Try the four adjacent positions at minimum cut spacing. Where
+		// the existing same-net metal on a layer does not already
+		// enclose the new cut, plan a landing-bar extension (the two
+		// routing layers run perpendicular, so one layer almost always
+		// needs one). The candidate commits only if the cut spacing
+		// and every extension's spacing are legal.
+		step := vs + vsp
+		for _, d := range [4]geom.Point{{X: step}, {X: -step}, {Y: step}, {Y: -step}} {
+			cand := c.R.Translate(d)
+			if !rep.cutLegal(cand, c.Net, rules, cutIx, cutNets) {
+				continue
+			}
+			extB, okB := planExtension(cand, c.R, c.Net, t, vl.Below(), rules, belowIx, belowNets)
+			if !okB {
+				continue
+			}
+			extA, okA := planExtension(cand, c.R, c.Net, t, vl.AboveOf(), rules, aboveIx, aboveNets)
+			if !okA {
+				continue
+			}
+			rep.AddedShapes = append(rep.AddedShapes,
+				layout.Shape{Layer: vl, R: cand, Net: c.Net})
+			cutIx.Insert(cand)
+			cutNets = append(cutNets, c.Net)
+			if !extB.Empty() {
+				rep.AddedShapes = append(rep.AddedShapes,
+					layout.Shape{Layer: below, R: extB, Net: c.Net})
+				belowIx.Insert(extB)
+				belowNets = append(belowNets, c.Net)
+			}
+			if !extA.Empty() {
+				rep.AddedShapes = append(rep.AddedShapes,
+					layout.Shape{Layer: above, R: extA, Net: c.Net})
+				aboveIx.Insert(extA)
+				aboveNets = append(aboveNets, c.Net)
+			}
+			rep.Inserted++
+			break
+		}
+	}
+}
+
+// cutLegal checks cut-to-cut spacing against other nets (same-net
+// spacing holds by construction of the candidate offsets).
+func (rep *Report) cutLegal(cand geom.Rect, net layout.NetID, rules tech.LayerRules,
+	cutIx *geom.Index, cutNets []layout.NetID) bool {
+	ok := true
+	cutIx.QueryFunc(cand.Bloat(rules.ViaSpace), func(id int, r geom.Rect) bool {
+		if cutNets[id] != net && cand.Distance(r) < rules.ViaSpace {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// planExtension decides what metal (if any) the layer needs so the
+// candidate cut is enclosed. Returns an empty rect when the existing
+// same-net metal already covers a legal pad, the landing bar when an
+// extension works, or ok=false when neither is legal.
+func planExtension(cand, orig geom.Rect, net layout.NetID, t *tech.Tech, ml tech.Layer,
+	rules tech.LayerRules, ix *geom.Index, nets []layout.NetID) (geom.Rect, bool) {
+
+	var same []geom.Rect
+	reach := rules.ViaEnclosure + t.Rules[ml].MinSpace
+	ix.QueryFunc(cand.Union(orig).Bloat(reach), func(id int, r geom.Rect) bool {
+		if nets[id] == net {
+			same = append(same, r)
+		}
+		return true
+	})
+	covered := func(pad geom.Rect) bool {
+		return geom.AreaOf(geom.Intersect([]geom.Rect{pad}, same)) == pad.Area()
+	}
+	if covered(cand.BloatXY(rules.ViaEnclosure, rules.ViaEncSide)) ||
+		covered(cand.BloatXY(rules.ViaEncSide, rules.ViaEnclosure)) {
+		return geom.Rect{}, true
+	}
+
+	// Landing bar: spans both cuts so it merges with the metal at the
+	// original via, wide enough for the layer's minimum width and the
+	// side enclosure, extended by the end enclosure at both ends.
+	span := cand.Union(orig)
+	horizontal := cand.Center().Y == orig.Center().Y
+	width := rules.ViaSize + 2*rules.ViaEncSide
+	if mw := t.Rules[ml].MinWidth; width < mw {
+		width = mw
+	}
+	var bar geom.Rect
+	if horizontal {
+		extra := (width - span.Height()) / 2
+		bar = span.BloatXY(rules.ViaEnclosure, extra)
+	} else {
+		extra := (width - span.Width()) / 2
+		bar = span.BloatXY(extra, rules.ViaEnclosure)
+	}
+	// The bar must clear other nets' metal by the layer spacing.
+	space := t.Rules[ml].MinSpace
+	ok := true
+	ix.QueryFunc(bar.Bloat(space), func(id int, r geom.Rect) bool {
+		if nets[id] != net && bar.Distance(r) < space {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return geom.Rect{}, false
+	}
+	return bar, true
+}
+
+// YieldGain runs the before/after via-yield comparison for a layout.
+type YieldGain struct {
+	Before, After float64
+	SinglesBefore int
+	SinglesAfter  int
+	PairsBefore   int
+	PairsAfter    int
+	AddedCuts     int
+	Report        Report
+}
+
+// EvaluateInsertion inserts redundant vias and reports the via-yield
+// movement and cost (added cuts; no metal is added by construction).
+func EvaluateInsertion(flat []layout.Shape, t *tech.Tech) YieldGain {
+	var g YieldGain
+	g.SinglesBefore, g.PairsBefore = yieldpkg.CountViaRedundancy(flat, t)
+	g.Before = yieldpkg.ViaYield(g.SinglesBefore, g.PairsBefore, t.Defects.ViaFailProb)
+
+	g.Report = Insert(flat, t, Opts{})
+	after := append(append([]layout.Shape{}, flat...), g.Report.AddedShapes...)
+	g.SinglesAfter, g.PairsAfter = yieldpkg.CountViaRedundancy(after, t)
+	g.After = yieldpkg.ViaYield(g.SinglesAfter, g.PairsAfter, t.Defects.ViaFailProb)
+	g.AddedCuts = g.Report.Inserted
+	return g
+}

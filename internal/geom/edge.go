@@ -1,0 +1,181 @@
+package geom
+
+import "sort"
+
+// Edge is a boundary segment of a region, with the region's interior on
+// a known side. Edges are axis-parallel; P0 -> P1 runs left-to-right for
+// horizontal edges and bottom-to-top for vertical edges.
+type Edge struct {
+	P0, P1 Point
+	// Interior tells which side of the edge the region lies on.
+	Interior Side
+}
+
+// Side identifies which side of an edge the region interior occupies.
+type Side uint8
+
+// Interior side values. For a horizontal edge the interior is Above or
+// Below; for a vertical edge it is Left or Right.
+const (
+	Below Side = iota // horizontal edge, interior below (a "top" edge)
+	Above             // horizontal edge, interior above (a "bottom" edge)
+	Left              // vertical edge, interior to the left (a "right" edge)
+	Right             // vertical edge, interior to the right (a "left" edge)
+)
+
+func (s Side) String() string {
+	switch s {
+	case Below:
+		return "below"
+	case Above:
+		return "above"
+	case Left:
+		return "left"
+	case Right:
+		return "right"
+	}
+	return "?"
+}
+
+// Horizontal reports whether the edge is horizontal.
+func (e Edge) Horizontal() bool { return e.P0.Y == e.P1.Y }
+
+// Length returns the edge length.
+func (e Edge) Length() int64 {
+	return abs64(e.P1.X-e.P0.X) + abs64(e.P1.Y-e.P0.Y)
+}
+
+// Midpoint returns the edge midpoint (truncated to integer nm).
+func (e Edge) Midpoint() Point {
+	return Point{(e.P0.X + e.P1.X) / 2, (e.P0.Y + e.P1.Y) / 2}
+}
+
+// OutwardNormal returns a unit vector pointing away from the interior.
+func (e Edge) OutwardNormal() Point {
+	switch e.Interior {
+	case Below:
+		return Point{0, 1}
+	case Above:
+		return Point{0, -1}
+	case Left:
+		return Point{1, 0}
+	case Right:
+		return Point{-1, 0}
+	}
+	return Point{}
+}
+
+// BoundaryEdges extracts the boundary edges of the region covered by
+// rs. The input need not be normalized. Edges are maximal: collinear
+// boundary runs with the same interior side are returned as single
+// segments. The result is deterministic (sorted).
+func BoundaryEdges(rs []Rect) []Edge {
+	norm := Normalize(rs)
+	if len(norm) == 0 {
+		return nil
+	}
+	var edges []Edge
+	edges = append(edges, horizontalBoundary(norm)...)
+	edges = append(edges, verticalBoundary(norm)...)
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.P0.Y != b.P0.Y {
+			return a.P0.Y < b.P0.Y
+		}
+		if a.P0.X != b.P0.X {
+			return a.P0.X < b.P0.X
+		}
+		return a.Interior < b.Interior
+	})
+	return edges
+}
+
+// horizontalBoundary finds maximal horizontal boundary segments by
+// comparing slab coverage below and above every candidate y.
+func horizontalBoundary(norm []Rect) []Edge {
+	ys := make([]int64, 0, 2*len(norm))
+	for _, r := range norm {
+		ys = append(ys, r.Y0, r.Y1)
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	ys = dedup64(ys)
+
+	var edges []Edge
+	for _, y := range ys {
+		below := coverageAtY(norm, y, false)
+		above := coverageAtY(norm, y, true)
+		// Bottom edges: covered above, not below -> interior Above.
+		for _, iv := range combineIntervals(above, below, func(a, b bool) bool { return a && !b }) {
+			edges = append(edges, Edge{Point{iv.lo, y}, Point{iv.hi, y}, Above})
+		}
+		// Top edges: covered below, not above -> interior Below.
+		for _, iv := range combineIntervals(below, above, func(a, b bool) bool { return a && !b }) {
+			edges = append(edges, Edge{Point{iv.lo, y}, Point{iv.hi, y}, Below})
+		}
+	}
+	return edges
+}
+
+// coverageAtY returns the merged x-intervals covered immediately above
+// (above=true) or below y.
+func coverageAtY(norm []Rect, y int64, above bool) []interval {
+	var iv []interval
+	for _, r := range norm {
+		if above && r.Y0 <= y && r.Y1 > y {
+			iv = append(iv, interval{r.X0, r.X1})
+		}
+		if !above && r.Y0 < y && r.Y1 >= y {
+			iv = append(iv, interval{r.X0, r.X1})
+		}
+	}
+	return mergeIntervals(iv)
+}
+
+// verticalBoundary mirrors horizontalBoundary with x and y swapped.
+func verticalBoundary(norm []Rect) []Edge {
+	xs := make([]int64, 0, 2*len(norm))
+	for _, r := range norm {
+		xs = append(xs, r.X0, r.X1)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	xs = dedup64(xs)
+
+	var edges []Edge
+	for _, x := range xs {
+		left := coverageAtX(norm, x, false)
+		right := coverageAtX(norm, x, true)
+		// Left edges: covered right, not left -> interior Right.
+		for _, iv := range combineIntervals(right, left, func(a, b bool) bool { return a && !b }) {
+			edges = append(edges, Edge{Point{x, iv.lo}, Point{x, iv.hi}, Right})
+		}
+		// Right edges: covered left, not right -> interior Left.
+		for _, iv := range combineIntervals(left, right, func(a, b bool) bool { return a && !b }) {
+			edges = append(edges, Edge{Point{x, iv.lo}, Point{x, iv.hi}, Left})
+		}
+	}
+	return edges
+}
+
+// coverageAtX returns the merged y-intervals covered immediately to the
+// right (right=true) or left of x.
+func coverageAtX(norm []Rect, x int64, right bool) []interval {
+	var iv []interval
+	for _, r := range norm {
+		if right && r.X0 <= x && r.X1 > x {
+			iv = append(iv, interval{r.Y0, r.Y1})
+		}
+		if !right && r.X0 < x && r.X1 >= x {
+			iv = append(iv, interval{r.Y0, r.Y1})
+		}
+	}
+	return mergeIntervals(iv)
+}
+
+// PerimeterOf returns the total boundary length of the region.
+func PerimeterOf(rs []Rect) int64 {
+	var p int64
+	for _, e := range BoundaryEdges(rs) {
+		p += e.Length()
+	}
+	return p
+}

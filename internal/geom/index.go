@@ -1,0 +1,118 @@
+package geom
+
+import "sort"
+
+// Index is a uniform-grid spatial index over rectangles, used for
+// neighbor queries in DRC spacing checks, pattern window extraction,
+// critical-area analysis and via processing. Items are identified by
+// the integer index assigned at insertion.
+type Index struct {
+	cell  int64
+	bins  map[[2]int64][]int32
+	items []Rect
+}
+
+// NewIndex creates an index with the given grid cell size in nm.
+// Cell size should be on the order of the typical query window (a few
+// design-rule pitches) for good performance; it must be positive.
+func NewIndex(cellSize int64) *Index {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	return &Index{
+		cell: cellSize,
+		bins: make(map[[2]int64][]int32),
+	}
+}
+
+// Len returns the number of items inserted.
+func (ix *Index) Len() int { return len(ix.items) }
+
+// Rect returns the rectangle of item id.
+func (ix *Index) Rect(id int) Rect { return ix.items[id] }
+
+// Insert adds r and returns its item id.
+func (ix *Index) Insert(r Rect) int {
+	id := int32(len(ix.items))
+	ix.items = append(ix.items, r)
+	ix.eachBin(r, func(k [2]int64) {
+		ix.bins[k] = append(ix.bins[k], id)
+	})
+	return int(id)
+}
+
+// InsertAll adds every rect in rs.
+func (ix *Index) InsertAll(rs []Rect) {
+	for _, r := range rs {
+		ix.Insert(r)
+	}
+}
+
+func (ix *Index) eachBin(r Rect, f func(k [2]int64)) {
+	x0, y0 := floorDiv(r.X0, ix.cell), floorDiv(r.Y0, ix.cell)
+	x1, y1 := floorDiv(r.X1, ix.cell), floorDiv(r.Y1, ix.cell)
+	for by := y0; by <= y1; by++ {
+		for bx := x0; bx <= x1; bx++ {
+			f([2]int64{bx, by})
+		}
+	}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Query returns the ids of all items whose rectangle intersects or
+// touches q, in ascending id order without duplicates.
+func (ix *Index) Query(q Rect) []int {
+	var ids []int32
+	ix.eachBin(q, func(k [2]int64) {
+		ids = append(ids, ix.bins[k]...)
+	})
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]int, 0, len(ids))
+	for i, id := range ids {
+		if i > 0 && id == ids[i-1] {
+			continue
+		}
+		r := ix.items[id]
+		// intersects-or-touches test
+		if q.X0 <= r.X1 && r.X0 <= q.X1 && q.Y0 <= r.Y1 && r.Y0 <= q.Y1 {
+			out = append(out, int(id))
+		}
+	}
+	return out
+}
+
+// QueryFunc calls f for each item intersecting or touching q; it
+// avoids allocating the result slice when the caller only iterates.
+// Items may be visited in any order; each item is visited once.
+func (ix *Index) QueryFunc(q Rect, f func(id int, r Rect) bool) {
+	seen := make(map[int32]struct{})
+	stop := false
+	ix.eachBin(q, func(k [2]int64) {
+		if stop {
+			return
+		}
+		for _, id := range ix.bins[k] {
+			if _, ok := seen[id]; ok {
+				continue
+			}
+			seen[id] = struct{}{}
+			r := ix.items[id]
+			if q.X0 <= r.X1 && r.X0 <= q.X1 && q.Y0 <= r.Y1 && r.Y0 <= q.Y1 {
+				if !f(int(id), r) {
+					stop = true
+					return
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexBasics(t *testing.T) {
+	ix := NewIndex(100)
+	a := ix.Insert(R(0, 0, 50, 50))
+	b := ix.Insert(R(200, 200, 250, 250))
+	c := ix.Insert(R(40, 40, 60, 60))
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	got := ix.Query(R(45, 45, 55, 55))
+	want := []int{a, c}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Query = %v, want %v", got, want)
+	}
+	if got := ix.Query(R(500, 500, 600, 600)); len(got) != 0 {
+		t.Fatalf("empty-region query returned %v", got)
+	}
+	if r := ix.Rect(b); r != R(200, 200, 250, 250) {
+		t.Fatalf("Rect(b) = %v", r)
+	}
+}
+
+func TestIndexTouchCounts(t *testing.T) {
+	ix := NewIndex(64)
+	id := ix.Insert(R(0, 0, 10, 10))
+	// Query that only touches the item's edge must still return it.
+	if got := ix.Query(R(10, 0, 20, 10)); len(got) != 1 || got[0] != id {
+		t.Fatalf("edge-touching query = %v", got)
+	}
+}
+
+func TestIndexNegativeCoords(t *testing.T) {
+	ix := NewIndex(50)
+	id := ix.Insert(R(-120, -80, -70, -30))
+	if got := ix.Query(R(-100, -60, -90, -50)); len(got) != 1 || got[0] != id {
+		t.Fatalf("negative-coordinate query = %v", got)
+	}
+}
+
+func TestIndexQueryFuncEarlyStop(t *testing.T) {
+	ix := NewIndex(10)
+	for i := 0; i < 20; i++ {
+		ix.Insert(R(int64(i), 0, int64(i)+1, 1))
+	}
+	count := 0
+	ix.QueryFunc(R(0, 0, 30, 1), func(id int, r Rect) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("QueryFunc visited %d items after early stop, want 5", count)
+	}
+}
+
+func TestIndexDefaultsBadCellSize(t *testing.T) {
+	ix := NewIndex(0)
+	ix.Insert(R(0, 0, 3, 3))
+	if got := ix.Query(R(1, 1, 2, 2)); len(got) != 1 {
+		t.Fatalf("index with clamped cell size broken: %v", got)
+	}
+}
+
+func TestQuickIndexMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 1 + rnd.Intn(40)
+		rects := make([]Rect, n)
+		ix := NewIndex(1 + rnd.Int63n(80))
+		for i := range rects {
+			rects[i] = randRect(rnd)
+			ix.Insert(rects[i])
+		}
+		q := randRect(rnd)
+		var want []int
+		for i, r := range rects {
+			if q.X0 <= r.X1 && r.X0 <= q.X1 && q.Y0 <= r.Y1 && r.Y0 <= q.Y1 {
+				want = append(want, i)
+			}
+		}
+		got := ix.Query(q)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// QueryFunc must visit the same id set.
+		var fun []int
+		ix.QueryFunc(q, func(id int, r Rect) bool {
+			fun = append(fun, id)
+			return true
+		})
+		sort.Ints(fun)
+		if len(fun) != len(want) {
+			return false
+		}
+		for i := range fun {
+			if fun[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Polygon is a simple rectilinear polygon given as its vertex ring.
+// Consecutive vertices must differ in exactly one coordinate
+// (axis-parallel edges) and the ring is implicitly closed from the last
+// vertex back to the first. Winding order is not significant; the
+// polygon is interpreted by even-odd parity.
+type Polygon struct {
+	Pts []Point
+}
+
+// PolyFromRect returns the 4-vertex polygon equal to r.
+func PolyFromRect(r Rect) Polygon {
+	return Polygon{Pts: []Point{
+		{r.X0, r.Y0}, {r.X1, r.Y0}, {r.X1, r.Y1}, {r.X0, r.Y1},
+	}}
+}
+
+// ErrNotRectilinear is returned by Validate for polygons with
+// non-axis-parallel or degenerate edges.
+var ErrNotRectilinear = errors.New("geom: polygon is not rectilinear")
+
+// Validate checks that the polygon has at least 4 vertices, that every
+// edge (including the closing edge) is axis-parallel and non-degenerate,
+// and that horizontal and vertical edges alternate.
+func (p Polygon) Validate() error {
+	n := len(p.Pts)
+	if n < 4 {
+		return fmt.Errorf("geom: polygon needs >= 4 vertices, got %d", n)
+	}
+	if n%2 != 0 {
+		return fmt.Errorf("geom: rectilinear polygon needs an even vertex count, got %d", n)
+	}
+	prevHoriz := false
+	for i := 0; i < n; i++ {
+		a, b := p.Pts[i], p.Pts[(i+1)%n]
+		dx, dy := b.X-a.X, b.Y-a.Y
+		switch {
+		case dx == 0 && dy == 0:
+			return fmt.Errorf("geom: degenerate edge at vertex %d %v", i, a)
+		case dx != 0 && dy != 0:
+			return fmt.Errorf("geom: %w: edge %v -> %v", ErrNotRectilinear, a, b)
+		}
+		horiz := dy == 0
+		if i > 0 && horiz == prevHoriz {
+			return fmt.Errorf("geom: consecutive parallel edges at vertex %d %v", i, a)
+		}
+		prevHoriz = horiz
+	}
+	return nil
+}
+
+// BBox returns the bounding box of the polygon.
+func (p Polygon) BBox() Rect {
+	if len(p.Pts) == 0 {
+		return Rect{}
+	}
+	bb := Rect{p.Pts[0].X, p.Pts[0].Y, p.Pts[0].X, p.Pts[0].Y}
+	for _, v := range p.Pts[1:] {
+		bb.X0 = min64(bb.X0, v.X)
+		bb.Y0 = min64(bb.Y0, v.Y)
+		bb.X1 = max64(bb.X1, v.X)
+		bb.Y1 = max64(bb.Y1, v.Y)
+	}
+	return bb
+}
+
+// Area returns the enclosed area (always non-negative, independent of
+// winding order).
+func (p Polygon) Area() int64 {
+	var s int64
+	n := len(p.Pts)
+	for i := 0; i < n; i++ {
+		a, b := p.Pts[i], p.Pts[(i+1)%n]
+		s += a.X*b.Y - b.X*a.Y
+	}
+	if s < 0 {
+		s = -s
+	}
+	return s / 2
+}
+
+// Translate returns the polygon moved by vector d.
+func (p Polygon) Translate(d Point) Polygon {
+	out := Polygon{Pts: make([]Point, len(p.Pts))}
+	for i, v := range p.Pts {
+		out.Pts[i] = v.Add(d)
+	}
+	return out
+}
+
+// Rects decomposes the polygon into disjoint rectangles using
+// horizontal slab cuts at every distinct vertex y coordinate. Holes are
+// not supported (a Polygon is a simple ring); multi-ring regions are
+// represented as rect sets instead.
+func (p Polygon) Rects() []Rect {
+	n := len(p.Pts)
+	if n < 4 {
+		return nil
+	}
+	// Vertical edges of the ring.
+	type vedge struct {
+		x, y0, y1 int64
+	}
+	var ve []vedge
+	ys := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		a, b := p.Pts[i], p.Pts[(i+1)%n]
+		ys = append(ys, a.Y)
+		if a.X == b.X && a.Y != b.Y {
+			y0, y1 := a.Y, b.Y
+			if y0 > y1 {
+				y0, y1 = y1, y0
+			}
+			ve = append(ve, vedge{a.X, y0, y1})
+		}
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	ys = dedup64(ys)
+
+	var out []Rect
+	for i := 0; i+1 < len(ys); i++ {
+		ya, yb := ys[i], ys[i+1]
+		// Crossing x coordinates of vertical edges spanning this slab.
+		var xs []int64
+		for _, e := range ve {
+			if e.y0 <= ya && e.y1 >= yb {
+				xs = append(xs, e.x)
+			}
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		// Even-odd: pair up crossings.
+		for j := 0; j+1 < len(xs); j += 2 {
+			if xs[j] < xs[j+1] {
+				out = append(out, Rect{xs[j], ya, xs[j+1], yb})
+			}
+		}
+	}
+	return Normalize(out)
+}
+
+// ContainsPoint reports whether q lies strictly inside the polygon
+// (boundary points count as inside), computed via the rect
+// decomposition.
+func (p Polygon) ContainsPoint(q Point) bool {
+	return CoversPoint(p.Rects(), q)
+}

@@ -1,0 +1,123 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyFromRect(t *testing.T) {
+	p := PolyFromRect(R(0, 0, 10, 5))
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := p.Area(); got != 50 {
+		t.Errorf("Area = %d, want 50", got)
+	}
+	if got := p.BBox(); got != R(0, 0, 10, 5) {
+		t.Errorf("BBox = %v", got)
+	}
+	rs := p.Rects()
+	if len(rs) != 1 || rs[0] != R(0, 0, 10, 5) {
+		t.Errorf("Rects = %v", rs)
+	}
+}
+
+func TestLShapePolygon(t *testing.T) {
+	// L shape: 20x20 square minus 10x10 upper-right quadrant.
+	p := Polygon{Pts: []Point{
+		{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := p.Area(); got != 300 {
+		t.Errorf("Area = %d, want 300", got)
+	}
+	rs := p.Rects()
+	if got := AreaOf(rs); got != 300 {
+		t.Errorf("decomposed area = %d, want 300", got)
+	}
+	if !p.ContainsPoint(Pt(5, 15)) || !p.ContainsPoint(Pt(15, 5)) {
+		t.Errorf("interior points missing")
+	}
+	if p.ContainsPoint(Pt(15, 15)) {
+		t.Errorf("cut-out quadrant wrongly inside")
+	}
+}
+
+func TestPolygonValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Polygon
+	}{
+		{"too few", Polygon{Pts: []Point{{0, 0}, {1, 0}, {1, 1}}}},
+		{"diagonal", Polygon{Pts: []Point{{0, 0}, {5, 5}, {5, 0}, {0, 0}}}},
+		{"degenerate edge", Polygon{Pts: []Point{{0, 0}, {0, 0}, {5, 0}, {5, 5}}}},
+		{"odd vertices", Polygon{Pts: []Point{{0, 0}, {10, 0}, {10, 10}, {5, 10}, {0, 10}}}},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid polygon", c.name)
+		}
+	}
+}
+
+func TestPolygonTranslate(t *testing.T) {
+	p := PolyFromRect(R(0, 0, 4, 4)).Translate(Pt(10, -2))
+	if got := p.BBox(); got != R(10, -2, 14, 2) {
+		t.Errorf("translated BBox = %v", got)
+	}
+	if got := p.Area(); got != 16 {
+		t.Errorf("translated Area = %d", got)
+	}
+}
+
+// randStaircase builds a random rectilinear staircase polygon that is
+// guaranteed simple: a monotone staircase up, then a closing sweep.
+func randStaircase(rnd *rand.Rand) Polygon {
+	steps := 2 + rnd.Intn(4)
+	var pts []Point
+	x, y := int64(0), int64(0)
+	pts = append(pts, Point{0, 0})
+	for i := 0; i < steps; i++ {
+		x += 1 + rnd.Int63n(20)
+		pts = append(pts, Point{x, y})
+		y += 1 + rnd.Int63n(20)
+		pts = append(pts, Point{x, y})
+	}
+	// Close: go left to 0 at top, then down.
+	pts = append(pts, Point{0, y})
+	return Polygon{Pts: pts}
+}
+
+func TestQuickPolygonDecompositionPreservesArea(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		p := randStaircase(rnd)
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		return AreaOf(p.Rects()) == p.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPolygonRectsWithinBBox(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		p := randStaircase(rnd)
+		bb := p.BBox()
+		for _, r := range p.Rects() {
+			if !bb.ContainsRect(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,306 @@
+package geom
+
+import "sort"
+
+// This file implements boolean algebra on sets of axis-aligned
+// rectangles using slab decomposition: the plane is cut into horizontal
+// slabs at every distinct y coordinate, interval arithmetic is applied
+// per slab, and vertically compatible slabs are coalesced afterwards.
+// All operations return *disjoint* rectangles in canonical order
+// (sorted by Y0, then X0), the normal form assumed throughout the DFM
+// stack.
+
+// interval is a half-open x range [lo, hi).
+type interval struct{ lo, hi int64 }
+
+// mergeIntervals merges overlapping or touching sorted-by-lo intervals
+// in place and returns the compacted slice.
+func mergeIntervals(iv []interval) []interval {
+	if len(iv) <= 1 {
+		return iv
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i].lo < iv[j].lo })
+	out := iv[:1]
+	for _, v := range iv[1:] {
+		last := &out[len(out)-1]
+		if v.lo <= last.hi {
+			if v.hi > last.hi {
+				last.hi = v.hi
+			}
+		} else {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// slabIntervals collects the merged x-intervals of every rect in rs
+// that spans the horizontal slab [ya, yb).
+func slabIntervals(rs []Rect, ya, yb int64) []interval {
+	var iv []interval
+	for _, r := range rs {
+		if r.Empty() {
+			continue
+		}
+		if r.Y0 <= ya && r.Y1 >= yb {
+			iv = append(iv, interval{r.X0, r.X1})
+		}
+	}
+	return mergeIntervals(iv)
+}
+
+// combineIntervals applies the boolean op to two merged interval lists
+// and returns the merged result.
+func combineIntervals(a, b []interval, op func(inA, inB bool) bool) []interval {
+	// Gather elementary x coordinates.
+	xs := make([]int64, 0, 2*(len(a)+len(b)))
+	for _, v := range a {
+		xs = append(xs, v.lo, v.hi)
+	}
+	for _, v := range b {
+		xs = append(xs, v.lo, v.hi)
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	xs = dedup64(xs)
+
+	contains := func(iv []interval, x int64) bool {
+		// binary search for the interval with lo <= x < hi
+		i := sort.Search(len(iv), func(i int) bool { return iv[i].hi > x })
+		return i < len(iv) && iv[i].lo <= x
+	}
+
+	var out []interval
+	for i := 0; i+1 < len(xs); i++ {
+		x0, x1 := xs[i], xs[i+1]
+		if op(contains(a, x0), contains(b, x0)) {
+			if n := len(out); n > 0 && out[n-1].hi == x0 {
+				out[n-1].hi = x1
+			} else {
+				out = append(out, interval{x0, x1})
+			}
+		}
+	}
+	return out
+}
+
+func dedup64(xs []int64) []int64 {
+	out := xs[:0]
+	for i, v := range xs {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// boolOp applies a pointwise boolean operation to the regions covered
+// by rect sets a and b, returning a normalized disjoint rect set.
+func boolOp(a, b []Rect, op func(inA, inB bool) bool) []Rect {
+	ys := make([]int64, 0, 2*(len(a)+len(b)))
+	for _, r := range a {
+		if !r.Empty() {
+			ys = append(ys, r.Y0, r.Y1)
+		}
+	}
+	for _, r := range b {
+		if !r.Empty() {
+			ys = append(ys, r.Y0, r.Y1)
+		}
+	}
+	if len(ys) == 0 {
+		return nil
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	ys = dedup64(ys)
+
+	type slab struct {
+		ya, yb int64
+		iv     []interval
+	}
+	slabs := make([]slab, 0, len(ys))
+	for i := 0; i+1 < len(ys); i++ {
+		ya, yb := ys[i], ys[i+1]
+		iv := combineIntervals(slabIntervals(a, ya, yb), slabIntervals(b, ya, yb), op)
+		if len(iv) > 0 {
+			slabs = append(slabs, slab{ya, yb, iv})
+		}
+	}
+
+	// Vertical coalescing: merge consecutive slabs with identical
+	// interval lists that abut.
+	var out []Rect
+	flush := func(s slab) {
+		for _, v := range s.iv {
+			out = append(out, Rect{v.lo, s.ya, v.hi, s.yb})
+		}
+	}
+	var cur slab
+	have := false
+	for _, s := range slabs {
+		if have && cur.yb == s.ya && sameIntervals(cur.iv, s.iv) {
+			cur.yb = s.yb
+			continue
+		}
+		if have {
+			flush(cur)
+		}
+		cur, have = s, true
+	}
+	if have {
+		flush(cur)
+	}
+	sortRects(out)
+	return out
+}
+
+func sameIntervals(a, b []interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortRects(rs []Rect) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Y0 != rs[j].Y0 {
+			return rs[i].Y0 < rs[j].Y0
+		}
+		if rs[i].X0 != rs[j].X0 {
+			return rs[i].X0 < rs[j].X0
+		}
+		if rs[i].Y1 != rs[j].Y1 {
+			return rs[i].Y1 < rs[j].Y1
+		}
+		return rs[i].X1 < rs[j].X1
+	})
+}
+
+// Union returns the region covered by a or b as disjoint rects.
+func Union(a, b []Rect) []Rect {
+	return boolOp(a, b, func(x, y bool) bool { return x || y })
+}
+
+// Normalize converts an arbitrary (possibly overlapping) rect list into
+// the canonical disjoint form.
+func Normalize(rs []Rect) []Rect { return Union(rs, nil) }
+
+// Intersect returns the region covered by both a and b.
+func Intersect(a, b []Rect) []Rect {
+	return boolOp(a, b, func(x, y bool) bool { return x && y })
+}
+
+// Subtract returns the region covered by a but not b.
+func Subtract(a, b []Rect) []Rect {
+	return boolOp(a, b, func(x, y bool) bool { return x && !y })
+}
+
+// Xor returns the region covered by exactly one of a and b.
+func Xor(a, b []Rect) []Rect {
+	return boolOp(a, b, func(x, y bool) bool { return x != y })
+}
+
+// AreaOf returns the total area covered by the rect set, counting
+// overlapping regions once.
+func AreaOf(rs []Rect) int64 {
+	var a int64
+	for _, r := range Normalize(rs) {
+		a += r.Area()
+	}
+	return a
+}
+
+// BBoxOf returns the bounding box of the set (empty Rect for an empty
+// set).
+func BBoxOf(rs []Rect) Rect {
+	var bb Rect
+	for _, r := range rs {
+		bb = bb.Union(r)
+	}
+	return bb
+}
+
+// Dilate grows the region by d in all directions (Minkowski sum with a
+// 2d x 2d square). Dilation distributes over union, so bloating each
+// rect and re-normalizing is exact.
+func Dilate(rs []Rect, d int64) []Rect {
+	if d == 0 {
+		return Normalize(rs)
+	}
+	out := make([]Rect, 0, len(rs))
+	for _, r := range rs {
+		if r.Empty() {
+			continue
+		}
+		b := r.Bloat(d)
+		if !b.Empty() {
+			out = append(out, b)
+		}
+	}
+	return Normalize(out)
+}
+
+// Erode shrinks the region by d in all directions: points survive only
+// if the full 2d x 2d square around them lies inside the region.
+// Implemented as the complement of the dilated complement within a
+// frame that exceeds the region's bbox by 2d.
+func Erode(rs []Rect, d int64) []Rect {
+	if d == 0 {
+		return Normalize(rs)
+	}
+	norm := Normalize(rs)
+	if len(norm) == 0 {
+		return nil
+	}
+	frame := BBoxOf(norm).Bloat(2 * d)
+	comp := Subtract([]Rect{frame}, norm)
+	compD := Dilate(comp, d)
+	return Subtract([]Rect{frame.Bloat(-d)}, compD)
+}
+
+// Open performs morphological opening (erode then dilate): it removes
+// any part of the region narrower than 2d. The difference between a
+// region and its opening is exactly the sub-minimum-width area, which
+// is how minimum-width DRC checks are implemented.
+func Open(rs []Rect, d int64) []Rect {
+	return Dilate(Erode(rs, d), d)
+}
+
+// Close performs morphological closing (dilate then erode): it fills
+// any gap or notch narrower than 2d, which is how minimum-spacing DRC
+// checks are implemented (closed minus original = sub-minimum gaps).
+func Close(rs []Rect, d int64) []Rect {
+	return Erode(Dilate(rs, d), d)
+}
+
+// CoversPoint reports whether any rect in the set covers p (boundary
+// inclusive).
+func CoversPoint(rs []Rect, p Point) bool {
+	for _, r := range rs {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Scale multiplies every coordinate by num/den (rational scaling keeps
+// the integer-nm representation exact for common shrink factors like
+// 9/10). The result is re-normalized.
+func Scale(rs []Rect, num, den int64) []Rect {
+	if den == 0 {
+		den = 1
+	}
+	out := make([]Rect, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, R(r.X0*num/den, r.Y0*num/den, r.X1*num/den, r.Y1*num/den))
+	}
+	return Normalize(out)
+}

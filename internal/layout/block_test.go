@@ -1,0 +1,177 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+func TestGenerateBlockBasics(t *testing.T) {
+	tt := tech.N45()
+	l, err := GenerateBlock(tt, BlockOpts{Rows: 3, RowWidth: 10000, Nets: 10, MaxFan: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Top == nil {
+		t.Fatal("no top cell")
+	}
+	flat := l.Flatten()
+	st := Summarize(flat)
+	if st.Shapes < 100 {
+		t.Fatalf("suspiciously few shapes: %d", st.Shapes)
+	}
+	by := ByLayer(flat)
+	for _, layer := range []tech.Layer{tech.Diff, tech.Poly, tech.Contact, tech.Metal1, tech.Via1, tech.Metal2, tech.Via2, tech.Metal3} {
+		if len(by[layer]) == 0 {
+			t.Errorf("no shapes on %v", layer)
+		}
+	}
+	// Routed nets exist beyond rails.
+	if st.NetCount < 10 {
+		t.Errorf("net count = %d, want >= 10", st.NetCount)
+	}
+}
+
+func TestGenerateBlockDeterministic(t *testing.T) {
+	tt := tech.N45()
+	opts := BlockOpts{Rows: 2, RowWidth: 8000, Nets: 8, MaxFan: 3, Seed: 42}
+	a, err := GenerateBlock(tt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateBlock(tt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := a.Flatten(), b.Flatten()
+	if len(fa) != len(fb) {
+		t.Fatalf("shape counts differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("shape %d differs: %+v vs %+v", i, fa[i], fb[i])
+		}
+	}
+}
+
+func TestGenerateBlockSeedsDiffer(t *testing.T) {
+	tt := tech.N45()
+	a, _ := GenerateBlock(tt, BlockOpts{Rows: 2, RowWidth: 8000, Nets: 8, MaxFan: 3, Seed: 1})
+	b, _ := GenerateBlock(tt, BlockOpts{Rows: 2, RowWidth: 8000, Nets: 8, MaxFan: 3, Seed: 2})
+	fa, fb := a.Flatten(), b.Flatten()
+	if len(fa) == len(fb) {
+		same := true
+		for i := range fa {
+			if fa[i] != fb[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("different seeds produced identical layouts")
+		}
+	}
+}
+
+func TestGenerateBlockRejectsBadOpts(t *testing.T) {
+	if _, err := GenerateBlock(tech.N45(), BlockOpts{}); err == nil {
+		t.Fatal("zero opts accepted")
+	}
+}
+
+func TestBlockRoutingNoInterNetShorts(t *testing.T) {
+	// Different signal nets must not overlap on any routing layer; this
+	// is the invariant critical-area analysis depends on.
+	tt := tech.N45()
+	l, err := GenerateBlock(tt, BlockOpts{Rows: 4, RowWidth: 15000, Nets: 25, MaxFan: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := l.Flatten()
+	for _, layer := range []tech.Layer{tech.Metal2, tech.Metal3} {
+		nets := NetsOn(flat, layer)
+		ids := SortedNets(nets)
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if ids[i] == NoNet || ids[j] == NoNet {
+					continue
+				}
+				inter := geom.Intersect(nets[ids[i]], nets[ids[j]])
+				if geom.AreaOf(inter) > 0 {
+					t.Fatalf("nets %d and %d short on %v: %v", ids[i], ids[j], layer, inter[0])
+				}
+			}
+		}
+	}
+}
+
+func TestViaChainGenerator(t *testing.T) {
+	tt := tech.N45()
+	c, vias := ViaChain(tt, 10)
+	if vias != 10 {
+		t.Fatalf("via count = %d", vias)
+	}
+	if got := len(c.LayerRects(tech.Via1)); got != 10 {
+		t.Fatalf("via rects = %d", got)
+	}
+	if got := len(c.LayerRects(tech.Metal2)); got != 9 {
+		t.Fatalf("strap count = %d, want links-1", got)
+	}
+	// Every via must be enclosed by metal1 and metal2 coverage.
+	m1 := geom.Normalize(c.LayerRects(tech.Metal1))
+	for _, v := range c.LayerRects(tech.Via1) {
+		if geom.AreaOf(geom.Intersect([]geom.Rect{v}, m1)) != v.Area() {
+			t.Errorf("via %v not fully on metal1", v)
+		}
+	}
+}
+
+func TestSRAMArray(t *testing.T) {
+	tt := tech.N45()
+	l := SRAMArray(tt, 4, 6)
+	flat := l.Flatten()
+	by := ByLayer(flat)
+	// 24 bitcells, each with 2 poly fingers.
+	if got := len(by[tech.Poly]); got != 48 {
+		t.Fatalf("poly count = %d, want 48", got)
+	}
+	st := Summarize(flat)
+	bitBB := l.Cells["SRAMBIT"].BBox()
+	wantW := bitBB.X1 * 6
+	if st.BBox.X1 != wantW {
+		t.Fatalf("array width = %d, want %d", st.BBox.X1, wantW)
+	}
+	// Mirrored placements must stay within the array footprint.
+	if st.BBox.X0 < 0 || st.BBox.Y0 < 0 {
+		t.Fatalf("array extends below origin: %v", st.BBox)
+	}
+}
+
+func TestPatternCells(t *testing.T) {
+	tt := tech.N45()
+	ls := LineSpace(tt, tech.Metal1, 70, 70, 2000, 5)
+	if got := len(ls.LayerRects(tech.Metal1)); got != 5 {
+		t.Fatalf("LineSpace count = %d", got)
+	}
+	if bb := ls.BBox(); bb.X1 != 5*140-70 {
+		t.Fatalf("LineSpace extent = %v", bb)
+	}
+	iso := IsoLine(tt, tech.Poly, 45, 1000)
+	if got := iso.BBox(); got != geom.R(0, 0, 45, 1000) {
+		t.Fatalf("IsoLine bbox = %v", got)
+	}
+	leg := LineEndGap(tt, tech.Metal1, 70, 100, 500)
+	rs := leg.LayerRects(tech.Metal1)
+	if len(rs) != 2 || rs[1].Y0-rs[0].Y1 != 100 {
+		t.Fatalf("LineEndGap geometry wrong: %v", rs)
+	}
+	el := Elbow(tt, tech.Metal1, 70, 500)
+	if geom.AreaOf(geom.Normalize(el.LayerRects(tech.Metal1))) != 70*500+70*(500-70) {
+		t.Fatalf("Elbow area wrong")
+	}
+	tj := TJunction(tt, tech.Metal1, 70, 500)
+	if len(tj.LayerRects(tech.Metal1)) != 2 {
+		t.Fatalf("TJunction shape count wrong")
+	}
+}

@@ -1,0 +1,332 @@
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Standard-cell generator. Cells are constructed parametrically from
+// the technology dimensions so that the same library code serves both
+// the baseline and restricted nodes. The geometry follows the classic
+// horizontal-rail CMOS template:
+//
+//	VDD rail (metal1) across the top, VSS across the bottom,
+//	PMOS diffusion strip under the VDD rail, NMOS above VSS,
+//	vertical poly gate fingers at the contacted gate pitch,
+//	diffusion contacts + vertical metal1 straps between fingers,
+//	input pins as poly contact pads with metal1 landing squares.
+//
+// Local net convention inside every cell: net 0 = VDD, net 1 = VSS,
+// nets 2.. = signal pins in pin order.
+
+// Local cell nets.
+const (
+	NetVDD NetID = 0
+	NetVSS NetID = 1
+)
+
+// Lib is a generated standard-cell library.
+type Lib struct {
+	Tech  *tech.Tech
+	Cells map[string]*Cell
+	// Names lists cell names in deterministic generation order.
+	Names []string
+}
+
+// cellBuilder carries the derived dimensions used while emitting one
+// cell.
+type cellBuilder struct {
+	t        *tech.Tech
+	c        *Cell
+	width    int64 // cell width, multiple of poly pitch
+	railW    int64
+	diffPTop int64
+	diffPBot int64
+	diffNTop int64
+	diffNBot int64
+	polyBot  int64
+	polyTop  int64
+}
+
+func newBuilder(t *tech.Tech, name string, nGates int) *cellBuilder {
+	h := t.CellHeight
+	b := &cellBuilder{
+		t:     t,
+		c:     NewCell(name),
+		width: int64(nGates+1) * t.PolyPitch,
+		railW: 120,
+	}
+	// Vertical budget: rails at the extremes, diff strips inboard.
+	b.diffNBot = b.railW + 80
+	b.diffNTop = b.diffNBot + 300
+	b.diffPTop = h - b.railW - 80
+	b.diffPBot = b.diffPTop - 350
+	b.polyBot = b.diffNBot - 120
+	b.polyTop = b.diffPTop + 120
+	return b
+}
+
+// rails emits the VDD/VSS metal1 power rails.
+func (b *cellBuilder) rails() {
+	h := b.t.CellHeight
+	b.c.AddNet(tech.Metal1, geom.R(0, h-b.railW, b.width, h), NetVDD)
+	b.c.AddNet(tech.Metal1, geom.R(0, 0, b.width, b.railW), NetVSS)
+}
+
+// diffStrips emits PMOS and NMOS diffusion spanning the gate columns.
+func (b *cellBuilder) diffStrips(firstGate, lastGate int) {
+	x0 := b.gateX(firstGate) - 70
+	x1 := b.gateX(lastGate) + b.t.GateLength + 70
+	b.c.Add(tech.Diff, geom.R(x0, b.diffPBot, x1, b.diffPTop))
+	b.c.Add(tech.Diff, geom.R(x0, b.diffNBot, x1, b.diffNTop))
+}
+
+// gateX returns the left x of gate finger i.
+func (b *cellBuilder) gateX(i int) int64 {
+	return b.t.PolyPitch/2 + int64(i)*b.t.PolyPitch
+}
+
+// finger emits one full-height poly gate finger and returns its rect.
+func (b *cellBuilder) finger(i int, net NetID) geom.Rect {
+	r := geom.R(b.gateX(i), b.polyBot, b.gateX(i)+b.t.GateLength, b.polyTop)
+	b.c.AddNet(tech.Poly, r, net)
+	return r
+}
+
+// diffContactCol emits stacked diffusion contacts and a vertical metal1
+// strap in the column between gates i-1 and i (column i sits just left
+// of gate i; column nGates is the right edge). The strap spans both
+// diff strips when net is a signal (series output) or just reaches the
+// rail for power connections.
+func (b *cellBuilder) diffContactCol(col int, net NetID, pmos, nmos bool) {
+	cs := b.t.Rules[tech.Contact].ViaSize
+	side := b.t.Rules[tech.Contact].ViaEncSide
+	x := b.gateX(col) - b.t.PolyPitch/2 - cs/2 + b.t.GateLength/2
+	mx0, mx1 := x-side, x+cs+side
+	m1W := mx1 - mx0
+	if m1W < b.t.Rules[tech.Metal1].MinWidth {
+		d := (b.t.Rules[tech.Metal1].MinWidth - m1W + 1) / 2
+		mx0 -= d
+		mx1 += d
+	}
+	// The strap spans only the devices it contacts, so a signal strap
+	// and a power strap can share a column without shorting (series
+	// NAND/NOR topologies need exactly that).
+	mid := (b.diffNTop + b.diffPBot) / 2
+	var y0, y1 int64
+	switch {
+	case net == NetVDD:
+		y0, y1 = b.diffPBot+40, b.t.CellHeight
+	case net == NetVSS:
+		y0, y1 = 0, b.diffNTop-40
+	case pmos && nmos:
+		y0, y1 = b.diffNBot+40, b.diffPTop-40
+	case pmos:
+		y0, y1 = mid+40, b.diffPTop-40
+	default: // nmos only
+		y0, y1 = b.diffNBot+40, mid-40
+	}
+	b.c.AddNet(tech.Metal1, geom.R(mx0, y0, mx1, y1), net)
+	if pmos {
+		cy := (b.diffPBot + b.diffPTop) / 2
+		b.c.AddNet(tech.Contact, geom.R(x, cy-cs/2, x+cs, cy-cs/2+cs), net)
+	}
+	if nmos {
+		cy := (b.diffNBot + b.diffNTop) / 2
+		b.c.AddNet(tech.Contact, geom.R(x, cy-cs/2, x+cs, cy-cs/2+cs), net)
+	}
+}
+
+// bridge joins the straps of two columns with a horizontal metal1
+// jumper through the mid region — needed when a net's PMOS-side and
+// NMOS-side straps sit in different columns (series gates).
+func (b *cellBuilder) bridge(colA, colB int, net NetID) {
+	cs := b.t.Rules[tech.Contact].ViaSize
+	side := b.t.Rules[tech.Contact].ViaEncSide
+	xOf := func(col int) int64 {
+		return b.gateX(col) - b.t.PolyPitch/2 - cs/2 + b.t.GateLength/2
+	}
+	x0 := xOf(colA) - side
+	x1 := xOf(colB) + cs + side
+	if x0 > x1 {
+		x0, x1 = x1-cs-2*side, x0+cs+2*side
+	}
+	mid := (b.diffNTop + b.diffPBot) / 2
+	// Tall enough to overlap both a pmos-only strap (starting mid+40)
+	// and an nmos-only strap (ending mid-40).
+	b.c.AddNet(tech.Metal1, geom.R(x0, mid-75, x1, mid+75), net)
+}
+
+// inputPin emits a poly contact pad + metal1 landing pad hanging below
+// the cell into the inter-row routing channel, and registers the pin.
+// Pads of adjacent fingers are staggered into two sub-rows so poly
+// spacing holds at the gate pitch.
+func (b *cellBuilder) inputPin(name string, i int, net NetID) {
+	cs := b.t.Rules[tech.Contact].ViaSize
+	g := b.t.GateLength
+	gx := b.gateX(i)
+	cx := gx + g/2 // finger centerline
+	const padW = 94
+	padTop := int64(-120)
+	if i%2 == 1 {
+		padTop = -394
+	}
+	padBot := padTop - padW
+	// Poly pad.
+	b.c.AddNet(tech.Poly, geom.R(cx-padW/2, padBot, cx+padW/2, padTop), net)
+	// Stem extending the finger down to the pad.
+	b.c.AddNet(tech.Poly, geom.R(gx, padBot, gx+g, b.polyBot+10), net)
+	// Contact in the pad center.
+	cy := padBot + padW/2
+	b.c.AddNet(tech.Contact, geom.R(cx-cs/2, cy-cs/2, cx+cs/2, cy-cs/2+cs), net)
+	// Metal1 landing pad = the pin shape: 100 x 200 (20000 nm^2) to
+	// satisfy metal1 min-area even when the pin is left unrouted,
+	// dropped asymmetrically so it clears the VSS rail above.
+	m1 := geom.R(cx-50, cy-129, cx+50, cy+71)
+	b.c.AddPin(name, tech.Metal1, m1, net)
+}
+
+// outputPin registers an existing metal1 strap column as the output pin.
+func (b *cellBuilder) outputPin(name string, col int, net NetID) {
+	cs := b.t.Rules[tech.Contact].ViaSize
+	side := b.t.Rules[tech.Contact].ViaEncSide
+	x := b.gateX(col) - b.t.PolyPitch/2 - cs/2 + b.t.GateLength/2
+	cy := (b.diffNTop + b.diffPBot) / 2
+	m1 := geom.R(x-side, cy-80, x+cs+side, cy+80)
+	b.c.AddPin(name, tech.Metal1, m1, net)
+}
+
+// Inverter builds a 1-gate inverter: A -> Y.
+func Inverter(t *tech.Tech) *Cell {
+	b := newBuilder(t, "INVX1", 1)
+	b.rails()
+	b.diffStrips(0, 0)
+	b.finger(0, 2) // A
+	b.diffContactCol(0, NetVDD, true, false)
+	b.diffContactCol(0, NetVSS, false, true)
+	b.diffContactCol(1, 3, true, true) // Y: shared drain strap
+	b.inputPin("A", 0, 2)
+	b.outputPin("Y", 1, 3)
+	return b.c
+}
+
+// Nand2 builds a 2-gate NAND2: A,B -> Y.
+func Nand2(t *tech.Tech) *Cell {
+	b := newBuilder(t, "NAND2X1", 2)
+	b.rails()
+	b.diffStrips(0, 1)
+	b.finger(0, 2) // A
+	b.finger(1, 3) // B
+	// PMOS parallel: VDD on outer columns, Y in the middle top.
+	b.diffContactCol(0, NetVDD, true, false)
+	b.diffContactCol(2, NetVDD, true, false)
+	// NMOS series: VSS on the left, Y on the right.
+	b.diffContactCol(0, NetVSS, false, true)
+	b.diffContactCol(1, 4, true, false) // Y to pmos middle
+	b.diffContactCol(2, 4, false, true) // Y to nmos end (shares net)
+	b.bridge(1, 2, 4)                   // join the split Y straps
+	b.inputPin("A", 0, 2)
+	b.inputPin("B", 1, 3)
+	b.outputPin("Y", 1, 4)
+	return b.c
+}
+
+// Nor2 builds a 2-gate NOR2: A,B -> Y.
+func Nor2(t *tech.Tech) *Cell {
+	b := newBuilder(t, "NOR2X1", 2)
+	b.rails()
+	b.diffStrips(0, 1)
+	b.finger(0, 2)
+	b.finger(1, 3)
+	// PMOS series: VDD left, Y right. NMOS parallel: VSS outer, Y middle.
+	b.diffContactCol(0, NetVDD, true, false)
+	b.diffContactCol(2, 4, true, false)
+	b.diffContactCol(0, NetVSS, false, true)
+	b.diffContactCol(2, NetVSS, false, true)
+	b.diffContactCol(1, 4, false, true)
+	b.bridge(1, 2, 4) // join the split Y straps
+	b.inputPin("A", 0, 2)
+	b.inputPin("B", 1, 3)
+	b.outputPin("Y", 2, 4)
+	return b.c
+}
+
+// Buf2 builds a 2-stage buffer (two inverters back to back).
+func Buf2(t *tech.Tech) *Cell {
+	b := newBuilder(t, "BUFX2", 2)
+	b.rails()
+	b.diffStrips(0, 1)
+	b.finger(0, 2) // A
+	b.finger(1, 4) // internal node drives second stage
+	b.diffContactCol(0, NetVDD, true, false)
+	b.diffContactCol(0, NetVSS, false, true)
+	b.diffContactCol(1, 4, true, true) // internal node
+	b.diffContactCol(2, 3, true, true) // Y
+	b.inputPin("A", 0, 2)
+	b.outputPin("Y", 2, 3)
+	return b.c
+}
+
+// Dff builds a simplified 6-gate flip-flop footprint. Its internals are
+// electrically schematic-level only, but geometrically it exercises the
+// long-cell code paths (many fingers, multiple straps).
+func Dff(t *tech.Tech) *Cell {
+	b := newBuilder(t, "DFFX1", 6)
+	b.rails()
+	b.diffStrips(0, 5)
+	nets := []NetID{2, 3, 4, 5, 6, 7} // D, CK, and internals
+	for i, n := range nets {
+		b.finger(i, n)
+	}
+	b.diffContactCol(0, NetVDD, true, false)
+	b.diffContactCol(0, NetVSS, false, true)
+	b.diffContactCol(2, NetVDD, true, false)
+	b.diffContactCol(2, NetVSS, false, true)
+	b.diffContactCol(4, NetVDD, true, false)
+	b.diffContactCol(4, NetVSS, false, true)
+	b.diffContactCol(1, 8, true, true)
+	b.diffContactCol(3, 9, true, true)
+	b.diffContactCol(5, 10, true, true)
+	b.diffContactCol(6, 11, true, true) // Q
+	b.inputPin("D", 0, 2)
+	b.inputPin("CK", 1, 3)
+	b.outputPin("Q", 6, 11)
+	return b.c
+}
+
+// Tap builds a rail-only filler/tap cell.
+func Tap(t *tech.Tech) *Cell {
+	b := newBuilder(t, "TAP", 1)
+	b.rails()
+	// Well tap diffusions tied to the rails; the contacts sit inside
+	// the rails so metal1 encloses them.
+	cs := b.t.Rules[tech.Contact].ViaSize
+	cx := b.width / 2
+	h := b.t.CellHeight
+	b.c.Add(tech.Diff, geom.R(cx-90, h-b.railW-160, cx+90, h-30))
+	b.c.Add(tech.Diff, geom.R(cx-90, 30, cx+90, b.railW+160))
+	b.c.AddNet(tech.Contact, geom.R(cx-cs/2, h-b.railW+30, cx+cs/2, h-b.railW+30+cs), NetVDD)
+	b.c.AddNet(tech.Contact, geom.R(cx-cs/2, b.railW-30-cs, cx+cs/2, b.railW-30), NetVSS)
+	return b.c
+}
+
+// NewLib generates the full standard-cell library for a node.
+func NewLib(t *tech.Tech) *Lib {
+	lib := &Lib{Tech: t, Cells: make(map[string]*Cell)}
+	for _, c := range []*Cell{Inverter(t), Nand2(t), Nor2(t), Buf2(t), Dff(t), Tap(t)} {
+		lib.Cells[c.Name] = c
+		lib.Names = append(lib.Names, c.Name)
+	}
+	return lib
+}
+
+// Cell returns a library cell by name.
+func (l *Lib) Cell(name string) (*Cell, error) {
+	c, ok := l.Cells[name]
+	if !ok {
+		return nil, fmt.Errorf("layout: no library cell %q", name)
+	}
+	return c, nil
+}

@@ -1,0 +1,298 @@
+package litho
+
+import (
+	"repro/internal/geom"
+)
+
+// Bitmap is a binary raster aligned with a Grid, used for printed-
+// region morphology (pinch/bridge detection) and vectorization.
+type Bitmap struct {
+	Origin geom.Point
+	Pitch  float64
+	W, H   int
+	Bits   []bool
+}
+
+// NewBitmap allocates a cleared W x H bitmap.
+func NewBitmap(w, h int) *Bitmap {
+	return &Bitmap{W: w, H: h, Bits: make([]bool, w*h)}
+}
+
+// At returns the bit at (i, j); out of range is false.
+func (b *Bitmap) At(i, j int) bool {
+	if i < 0 || j < 0 || i >= b.W || j >= b.H {
+		return false
+	}
+	return b.Bits[j*b.W+i]
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, v := range b.Bits {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// clone copies the bitmap.
+func (b *Bitmap) clone() *Bitmap {
+	out := *b
+	out.Bits = make([]bool, len(b.Bits))
+	copy(out.Bits, b.Bits)
+	return &out
+}
+
+// Erode returns the bitmap eroded by a (2r+1)x(2r+1) square structuring
+// element, computed as separable min filters. The region outside the
+// bitmap counts as set, so erosion only responds to real unset pixels;
+// this keeps Open anti-extensive and Close extensive within the
+// domain. (Litho bitmaps are padded, so the convention never touches
+// real geometry.)
+func (b *Bitmap) Erode(r int) *Bitmap {
+	if r <= 0 {
+		return b.clone()
+	}
+	// A set bit survives if no unset bit lies within +-r, per axis.
+	h := NewBitmap(b.W, b.H)
+	h.Origin, h.Pitch = b.Origin, b.Pitch
+	for j := 0; j < b.H; j++ {
+		row := j * b.W
+		lastUnset := -(r + 1) * 2
+		for i := 0; i < b.W; i++ {
+			if !b.Bits[row+i] {
+				lastUnset = i
+			}
+			h.Bits[row+i] = b.Bits[row+i] && i-lastUnset > r
+		}
+		nextUnset := b.W + (r+1)*2
+		for i := b.W - 1; i >= 0; i-- {
+			if !b.Bits[row+i] {
+				nextUnset = i
+			}
+			if nextUnset-i <= r {
+				h.Bits[row+i] = false
+			}
+		}
+	}
+	v := NewBitmap(b.W, b.H)
+	v.Origin, v.Pitch = b.Origin, b.Pitch
+	for i := 0; i < b.W; i++ {
+		lastUnset := -(r + 1) * 2
+		for j := 0; j < b.H; j++ {
+			if !h.Bits[j*b.W+i] {
+				lastUnset = j
+			}
+			v.Bits[j*b.W+i] = h.Bits[j*b.W+i] && j-lastUnset > r
+		}
+		nextUnset := b.H + (r+1)*2
+		for j := b.H - 1; j >= 0; j-- {
+			if !h.Bits[j*b.W+i] {
+				nextUnset = j
+			}
+			if nextUnset-j <= r {
+				v.Bits[j*b.W+i] = false
+			}
+		}
+	}
+	return v
+}
+
+// Dilate returns the bitmap dilated by a (2r+1)x(2r+1) square,
+// computed as separable max filters (two sweeps per axis).
+func (b *Bitmap) Dilate(r int) *Bitmap {
+	if r <= 0 {
+		return b.clone()
+	}
+	h := NewBitmap(b.W, b.H)
+	h.Origin, h.Pitch = b.Origin, b.Pitch
+	for j := 0; j < b.H; j++ {
+		row := j * b.W
+		last := -(r + 1) // index of the last set bit seen
+		for i := 0; i < b.W; i++ {
+			if b.Bits[row+i] {
+				last = i
+			}
+			if i-last <= r {
+				h.Bits[row+i] = true
+			}
+		}
+		next := b.W + r + 1
+		for i := b.W - 1; i >= 0; i-- {
+			if b.Bits[row+i] {
+				next = i
+			}
+			if next-i <= r {
+				h.Bits[row+i] = true
+			}
+		}
+	}
+	v := NewBitmap(b.W, b.H)
+	v.Origin, v.Pitch = b.Origin, b.Pitch
+	for i := 0; i < b.W; i++ {
+		last := -(r + 1)
+		for j := 0; j < b.H; j++ {
+			if h.Bits[j*b.W+i] {
+				last = j
+			}
+			if j-last <= r {
+				v.Bits[j*b.W+i] = true
+			}
+		}
+		next := b.H + r + 1
+		for j := b.H - 1; j >= 0; j-- {
+			if h.Bits[j*b.W+i] {
+				next = j
+			}
+			if next-j <= r {
+				v.Bits[j*b.W+i] = true
+			}
+		}
+	}
+	return v
+}
+
+// Open is erosion followed by dilation: removes features thinner than
+// 2r+1 pixels.
+func (b *Bitmap) Open(r int) *Bitmap { return b.Erode(r).Dilate(r) }
+
+// Close is dilation followed by erosion: fills gaps thinner than 2r+1
+// pixels.
+func (b *Bitmap) Close(r int) *Bitmap { return b.Dilate(r).Erode(r) }
+
+// AndNot returns b AND NOT o.
+func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
+	out := b.clone()
+	for i := range out.Bits {
+		out.Bits[i] = out.Bits[i] && !o.Bits[i]
+	}
+	return out
+}
+
+// And returns b AND o.
+func (b *Bitmap) And(o *Bitmap) *Bitmap {
+	out := b.clone()
+	for i := range out.Bits {
+		out.Bits[i] = out.Bits[i] && o.Bits[i]
+	}
+	return out
+}
+
+// Or returns b OR o.
+func (b *Bitmap) Or(o *Bitmap) *Bitmap {
+	out := b.clone()
+	for i := range out.Bits {
+		out.Bits[i] = out.Bits[i] || o.Bits[i]
+	}
+	return out
+}
+
+// Xor returns b XOR o.
+func (b *Bitmap) Xor(o *Bitmap) *Bitmap {
+	out := b.clone()
+	for i := range out.Bits {
+		out.Bits[i] = out.Bits[i] != o.Bits[i]
+	}
+	return out
+}
+
+// pixelRect returns the nm rect of pixel run [i0, i1) x row j.
+func (b *Bitmap) pixelRect(i0, i1, j0, j1 int) geom.Rect {
+	ox, oy := float64(b.Origin.X), float64(b.Origin.Y)
+	return geom.R(
+		int64(ox+float64(i0)*b.Pitch), int64(oy+float64(j0)*b.Pitch),
+		int64(ox+float64(i1)*b.Pitch), int64(oy+float64(j1)*b.Pitch),
+	)
+}
+
+// ToRects vectorizes the set region into maximal-row rectangles:
+// horizontal runs per row, merged vertically when aligned. The output
+// is a valid disjoint rect set in nm coordinates.
+func (b *Bitmap) ToRects() []geom.Rect {
+	type run struct{ i0, i1 int }
+	prev := make(map[run]int) // run -> index into rects still growable
+	var rects []geom.Rect
+	rowEnd := make(map[run]int) // run -> last row index included
+	for j := 0; j < b.H; j++ {
+		cur := make(map[run]int)
+		i := 0
+		for i < b.W {
+			if !b.Bits[j*b.W+i] {
+				i++
+				continue
+			}
+			i0 := i
+			for i < b.W && b.Bits[j*b.W+i] {
+				i++
+			}
+			rn := run{i0, i}
+			if ri, ok := prev[rn]; ok && rowEnd[rn] == j-1 {
+				// extend existing rect upward
+				r := rects[ri]
+				rects[ri] = geom.R(r.X0, r.Y0, r.X1, int64(float64(b.Origin.Y)+float64(j+1)*b.Pitch))
+				cur[rn] = ri
+				rowEnd[rn] = j
+			} else {
+				rects = append(rects, b.pixelRect(i0, i, j, j+1))
+				cur[rn] = len(rects) - 1
+				rowEnd[rn] = j
+			}
+		}
+		prev = cur
+	}
+	return rects
+}
+
+// Blobs groups set pixels into 4-connected components and returns each
+// component's bounding box in nm, largest first. Used to turn flagged
+// hotspot pixels into reportable sites.
+func (b *Bitmap) Blobs() []geom.Rect {
+	seen := make([]bool, len(b.Bits))
+	var boxes []geom.Rect
+	var stack [][2]int
+	for j := 0; j < b.H; j++ {
+		for i := 0; i < b.W; i++ {
+			idx := j*b.W + i
+			if !b.Bits[idx] || seen[idx] {
+				continue
+			}
+			// flood fill
+			minI, maxI, minJ, maxJ := i, i, j, j
+			stack = stack[:0]
+			stack = append(stack, [2]int{i, j})
+			seen[idx] = true
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				pi, pj := p[0], p[1]
+				if pi < minI {
+					minI = pi
+				}
+				if pi > maxI {
+					maxI = pi
+				}
+				if pj < minJ {
+					minJ = pj
+				}
+				if pj > maxJ {
+					maxJ = pj
+				}
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					ni, nj := pi+d[0], pj+d[1]
+					if ni < 0 || nj < 0 || ni >= b.W || nj >= b.H {
+						continue
+					}
+					nidx := nj*b.W + ni
+					if b.Bits[nidx] && !seen[nidx] {
+						seen[nidx] = true
+						stack = append(stack, [2]int{ni, nj})
+					}
+				}
+			}
+			boxes = append(boxes, b.pixelRect(minI, maxI+1, minJ, maxJ+1))
+		}
+	}
+	return boxes
+}

@@ -1,0 +1,144 @@
+package litho
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Hotspot detection: a pinch is a printed feature narrower than the
+// electrical minimum; a bridge is a printed gap narrower than the
+// isolation minimum. Both are found with bitmap morphology on the
+// printed raster — exactly the full-chip printability verification
+// flow DFM inserts after OPC.
+
+// HotspotKind distinguishes failure modes.
+type HotspotKind uint8
+
+// Hotspot kinds.
+const (
+	Pinch HotspotKind = iota
+	Bridge
+)
+
+func (k HotspotKind) String() string {
+	if k == Pinch {
+		return "pinch"
+	}
+	return "bridge"
+}
+
+// Hotspot is one detected printability failure site.
+type Hotspot struct {
+	Kind HotspotKind
+	Box  geom.Rect // bounding box of the failing pixels, nm
+}
+
+func (h Hotspot) String() string {
+	return fmt.Sprintf("%s @ %v", h.Kind, h.Box)
+}
+
+// FindHotspots detects pinch and bridge sites in the image. minWidth
+// is the smallest acceptable printed linewidth and minSpace the
+// smallest acceptable printed gap, both in nm.
+func (im *Image) FindHotspots(minWidth, minSpace int64) []Hotspot {
+	printed := im.PrintedBitmap()
+
+	// Pinch: printed pixels removed by opening with a structuring
+	// element just under minWidth.
+	rw := int(float64(minWidth)/im.Pitch/2 + 0.5)
+	if rw < 1 {
+		rw = 1
+	}
+	pinched := printed.AndNot(printed.Open(rw))
+
+	// Bridge: gap pixels removed by closing with an element just under
+	// minSpace — i.e. unprinted pixels that the closing claims.
+	rs := int(float64(minSpace)/im.Pitch/2 + 0.5)
+	if rs < 1 {
+		rs = 1
+	}
+	bridged := printed.Close(rs).AndNot(printed)
+
+	var out []Hotspot
+	for _, b := range pinched.Blobs() {
+		// Ignore single-pixel speckle from raster quantization.
+		if b.Width() > int64(im.Pitch) || b.Height() > int64(im.Pitch) {
+			out = append(out, Hotspot{Kind: Pinch, Box: b})
+		}
+	}
+	for _, b := range bridged.Blobs() {
+		if b.Width() > int64(im.Pitch) || b.Height() > int64(im.Pitch) {
+			out = append(out, Hotspot{Kind: Bridge, Box: b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Box.Y0 != b.Box.Y0 {
+			return a.Box.Y0 < b.Box.Y0
+		}
+		if a.Box.X0 != b.Box.X0 {
+			return a.Box.X0 < b.Box.X0
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// ScanLayer simulates a full layer in tiles and returns all hotspots.
+// Tiling bounds memory on large blocks; the simulation pad makes tile
+// seams invisible. minWidth/minSpace default to 60% of the layer's
+// design rules when zero — the standard "electrical fail" margin.
+func ScanLayer(rs []geom.Rect, t *tech.Tech, layer tech.Layer, cond Condition, minWidth, minSpace int64) []Hotspot {
+	if minWidth == 0 {
+		minWidth = t.Rules[layer].MinWidth * 6 / 10
+	}
+	if minSpace == 0 {
+		minSpace = t.Rules[layer].MinSpace * 6 / 10
+	}
+	bb := geom.BBoxOf(rs)
+	if bb.Empty() {
+		return nil
+	}
+	const tile = 12000 // nm
+	var out []Hotspot
+	seen := make(map[geom.Rect]bool)
+	for y := bb.Y0; y < bb.Y1; y += tile {
+		for x := bb.X0; x < bb.X1; x += tile {
+			win := geom.R(x, y, min64(x+tile, bb.X1), min64(y+tile, bb.Y1))
+			// Give the tile a margin so hotspots at seams are detected
+			// whole; dedupe below handles the overlap.
+			img := Simulate(rs, win.Bloat(500), t.Optics, cond)
+			for _, h := range img.FindHotspots(minWidth, minSpace) {
+				if !h.Box.Overlaps(win) && !win.ContainsRect(h.Box) {
+					continue
+				}
+				if seen[h.Box] {
+					continue
+				}
+				seen[h.Box] = true
+				out = append(out, h)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Box.Y0 != b.Box.Y0 {
+			return a.Box.Y0 < b.Box.Y0
+		}
+		if a.Box.X0 != b.Box.X0 {
+			return a.Box.X0 < b.Box.X0
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

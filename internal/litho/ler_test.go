@@ -1,0 +1,78 @@
+package litho
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestAddNoiseDeterministic(t *testing.T) {
+	mask := []geom.Rect{geom.R(0, 0, 100, 2000)}
+	win := geom.R(-300, 500, 400, 1500)
+	img := Simulate(mask, win, opt(), Nominal)
+	a := img.AddNoise(0.05, 20, 7)
+	b := img.AddNoise(0.05, 20, 7)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("noise not reproducible at %d", i)
+		}
+	}
+	c := img.AddNoise(0.05, 20, 8)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical noise")
+	}
+	// Zero sigma is the identity.
+	z := img.AddNoise(0, 20, 7)
+	for i := range z.Data {
+		if z.Data[i] != img.Data[i] {
+			t.Fatal("zero-sigma noise changed the image")
+		}
+	}
+}
+
+func TestMeasureLERSmoothVsNoisy(t *testing.T) {
+	mask := []geom.Rect{geom.R(0, 0, 100, 3000)}
+	win := geom.R(-300, 200, 400, 2800)
+	img := Simulate(mask, win, opt(), Nominal)
+	edge := geom.Edge{P0: geom.Pt(0, 400), P1: geom.Pt(0, 2600), Interior: geom.Right}
+
+	smooth := img.MeasureLER(edge, 20)
+	if smooth.N < 50 {
+		t.Fatalf("too few LER samples: %d", smooth.N)
+	}
+	if smooth.ThreeSig > 2 {
+		t.Fatalf("deterministic image has LER %.2f, want ~0", smooth.ThreeSig)
+	}
+
+	lo := img.AddNoise(0.02, 25, 3).MeasureLER(edge, 20)
+	hi := img.AddNoise(0.06, 25, 3).MeasureLER(edge, 20)
+	if lo.ThreeSig <= smooth.ThreeSig {
+		t.Fatalf("noise did not roughen the edge: %v vs %v", lo.ThreeSig, smooth.ThreeSig)
+	}
+	if hi.ThreeSig <= lo.ThreeSig {
+		t.Fatalf("LER not increasing with noise: %v vs %v", hi.ThreeSig, lo.ThreeSig)
+	}
+	// Plausible magnitudes: a few nm at these settings.
+	if hi.ThreeSig > 40 {
+		t.Fatalf("LER implausibly large: %v", hi.ThreeSig)
+	}
+}
+
+func TestMeasureLERLostEdge(t *testing.T) {
+	// A mask far from the window: every sample is lost, N stays 0.
+	mask := []geom.Rect{geom.R(10000, 10000, 10100, 12000)}
+	win := geom.R(0, 0, 500, 2000)
+	img := Simulate(mask, win, opt(), Nominal)
+	edge := geom.Edge{P0: geom.Pt(100, 100), P1: geom.Pt(100, 1900), Interior: geom.Right}
+	st := img.MeasureLER(edge, 50)
+	if st.N != 0 || st.ThreeSig != 0 {
+		t.Fatalf("lost edge produced samples: %+v", st)
+	}
+}

@@ -1,0 +1,168 @@
+package litho
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Condition is one exposure condition: defocus in nm from best focus
+// and relative dose (1.0 = nominal).
+type Condition struct {
+	Defocus float64
+	Dose    float64
+}
+
+// Nominal is the best-focus, nominal-dose condition.
+var Nominal = Condition{Defocus: 0, Dose: 1}
+
+// Image is a simulated aerial image with its resist threshold.
+type Image struct {
+	*Grid
+	// Threshold is the print threshold in the image's intensity units
+	// (already scaled by clear-field normalization and dose).
+	Threshold float64
+	Cond      Condition
+}
+
+// Simulate computes the aerial image of the mask geometry inside the
+// window under the given condition. The model is a coherent sum of
+// isotropic Gaussian kernels: amplitude A = sum_k w_k (G_sk * M),
+// intensity I = A^2, normalized so a large clear area has intensity
+// 1.0 at nominal dose. Defocus broadens every kernel by
+// sigma' = sigma*sqrt(1+(f/F)^2). The simulation window is internally
+// padded by the kernel support so features just outside the window
+// still contribute (optical proximity has no cell boundaries).
+func Simulate(mask []geom.Rect, window geom.Rect, opt tech.Optics, cond Condition) *Image {
+	sigmas := make([]float64, len(opt.Sigmas))
+	maxSigma := 0.0
+	for i, s := range opt.Sigmas {
+		f := 1.0
+		if opt.DefocusScale > 0 {
+			f = math.Sqrt(1 + (cond.Defocus/opt.DefocusScale)*(cond.Defocus/opt.DefocusScale))
+		}
+		sigmas[i] = s * f
+		if sigmas[i] > maxSigma {
+			maxSigma = sigmas[i]
+		}
+	}
+	pad := int64(math.Ceil(3 * maxSigma))
+	padded := window.Bloat(pad)
+
+	g := NewGrid(padded, opt.GridNM)
+	g.Rasterize(mask)
+
+	// Amplitude: weighted sum of Gaussian blurs of the mask function.
+	amp := NewGrid(padded, opt.GridNM)
+	var wsum float64
+	for _, w := range opt.Weights {
+		wsum += w
+	}
+	if wsum == 0 {
+		wsum = 1
+	}
+	tmp := g.Clone()
+	for k, s := range sigmas {
+		blurred := GaussianBlur(tmp, s/opt.GridNM)
+		w := opt.Weights[k] / wsum
+		for i := range amp.Data {
+			amp.Data[i] += w * blurred.Data[i]
+		}
+	}
+
+	// Intensity = A^2 (clear field: A=1 -> I=1), scaled by dose.
+	for i, a := range amp.Data {
+		amp.Data[i] = a * a * cond.Dose
+	}
+
+	// Crop the padding back off.
+	img := NewGrid(window, opt.GridNM)
+	di := int(math.Round(float64(window.X0-padded.X0) / opt.GridNM))
+	dj := int(math.Round(float64(window.Y0-padded.Y0) / opt.GridNM))
+	for j := 0; j < img.H; j++ {
+		for i := 0; i < img.W; i++ {
+			img.Data[j*img.W+i] = amp.At(i+di, j+dj)
+		}
+	}
+	return &Image{Grid: img, Threshold: opt.Threshold, Cond: cond}
+}
+
+// GaussianBlur returns the grid convolved with an isotropic Gaussian
+// of the given sigma in pixels, using the separable two-pass method
+// with a 3-sigma truncated kernel.
+func GaussianBlur(g *Grid, sigmaPx float64) *Grid {
+	if sigmaPx <= 0 {
+		return g.Clone()
+	}
+	r := int(math.Ceil(3 * sigmaPx))
+	kern := make([]float64, 2*r+1)
+	var sum float64
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigmaPx * sigmaPx))
+		kern[i+r] = v
+		sum += v
+	}
+	for i := range kern {
+		kern[i] /= sum
+	}
+
+	// Horizontal pass.
+	hp := &Grid{Origin: g.Origin, Pitch: g.Pitch, W: g.W, H: g.H, Data: make([]float64, len(g.Data))}
+	for j := 0; j < g.H; j++ {
+		row := j * g.W
+		for i := 0; i < g.W; i++ {
+			var acc float64
+			for k := -r; k <= r; k++ {
+				ii := i + k
+				if ii < 0 || ii >= g.W {
+					continue // zero boundary (mask padding handles edges)
+				}
+				acc += kern[k+r] * g.Data[row+ii]
+			}
+			hp.Data[row+i] = acc
+		}
+	}
+	// Vertical pass.
+	vp := &Grid{Origin: g.Origin, Pitch: g.Pitch, W: g.W, H: g.H, Data: make([]float64, len(g.Data))}
+	for j := 0; j < g.H; j++ {
+		for i := 0; i < g.W; i++ {
+			var acc float64
+			for k := -r; k <= r; k++ {
+				jj := j + k
+				if jj < 0 || jj >= g.H {
+					continue
+				}
+				acc += kern[k+r] * hp.Data[jj*g.W+i]
+			}
+			vp.Data[j*g.W+i] = acc
+		}
+	}
+	return vp
+}
+
+// PrintsAt reports whether the image prints (exceeds threshold) at nm
+// coordinates (x, y).
+func (im *Image) PrintsAt(x, y float64) bool {
+	return im.Sample(x, y) >= im.Threshold
+}
+
+// PrintedBitmap returns the binary printed/not-printed raster.
+func (im *Image) PrintedBitmap() *Bitmap {
+	b := NewBitmap(im.W, im.H)
+	for i, v := range im.Data {
+		if v >= im.Threshold {
+			b.Bits[i] = true
+		}
+	}
+	b.Origin = im.Origin
+	b.Pitch = im.Pitch
+	return b
+}
+
+// PrintedRects vectorizes the printed region back into layout
+// rectangles (pixel-resolution; rows merged into maximal rects). Used
+// by the contour-extraction based flows (post-OPC timing, PV bands).
+func (im *Image) PrintedRects() []geom.Rect {
+	return im.PrintedBitmap().ToRects()
+}

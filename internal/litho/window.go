@@ -1,0 +1,147 @@
+package litho
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Focus-exposure process-window analysis and process-variability (PV)
+// bands: the quantitative backbone of the SRAF and restricted-rules
+// experiments.
+
+// CDSpec is a target dimension with tolerance.
+type CDSpec struct {
+	Target float64 // nm
+	Tol    float64 // fractional, e.g. 0.10 for +-10%
+}
+
+// InSpec reports whether a measured CD is inside the tolerance band.
+func (s CDSpec) InSpec(cd float64) bool {
+	return math.Abs(cd-s.Target) <= s.Tol*s.Target
+}
+
+// FEPoint is one focus-exposure matrix sample.
+type FEPoint struct {
+	Cond Condition
+	CD   float64
+	OK   bool // CD measurable and in spec
+}
+
+// FEMatrix simulates a focus-exposure matrix: the CD of the feature at
+// (x, y) (measured along x when horizontal) across the defocus and
+// dose lists. The mask is simulated once per condition within the
+// window.
+func FEMatrix(mask []geom.Rect, window geom.Rect, opt tech.Optics,
+	x, y float64, horizontal bool, spec CDSpec,
+	defocus, dose []float64) []FEPoint {
+
+	out := make([]FEPoint, 0, len(defocus)*len(dose))
+	for _, f := range defocus {
+		for _, d := range dose {
+			img := Simulate(mask, window, opt, Condition{Defocus: f, Dose: d})
+			cd, ok := img.CDAt(x, y, horizontal)
+			p := FEPoint{Cond: Condition{Defocus: f, Dose: d}, CD: cd}
+			p.OK = ok && spec.InSpec(cd)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DepthOfFocus returns the widest contiguous defocus range (nm) over
+// which at least one dose in the matrix keeps the CD in spec. This is
+// the usable process-window depth the SRAF experiment compares.
+func DepthOfFocus(points []FEPoint, defocus []float64) float64 {
+	okAt := make(map[float64]bool)
+	for _, p := range points {
+		if p.OK {
+			okAt[p.Cond.Defocus] = true
+		}
+	}
+	best, runStart := 0.0, math.NaN()
+	for i, f := range defocus {
+		if okAt[f] {
+			if math.IsNaN(runStart) {
+				runStart = f
+			}
+			if w := f - runStart; w > best {
+				best = w
+			}
+		} else {
+			runStart = math.NaN()
+		}
+		_ = i
+	}
+	return best
+}
+
+// ExposureLatitude returns the fractional dose range keeping CD in
+// spec at the given defocus.
+func ExposureLatitude(points []FEPoint, defocus float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		if p.Cond.Defocus == defocus && p.OK {
+			if p.Cond.Dose < lo {
+				lo = p.Cond.Dose
+			}
+			if p.Cond.Dose > hi {
+				hi = p.Cond.Dose
+			}
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// PVBand computes the process-variability band of the mask inside the
+// window: the region printed under some but not all of the given
+// corner conditions. Wide bands mark litho-fragile geometry; the band
+// area is the standard printability-robustness metric.
+type PVBand struct {
+	Always []geom.Rect // printed at every corner
+	Ever   []geom.Rect // printed at at least one corner
+	Band   []geom.Rect // Ever minus Always
+}
+
+// ComputePVBand simulates every corner condition and overlays the
+// printed regions.
+func ComputePVBand(mask []geom.Rect, window geom.Rect, opt tech.Optics, corners []Condition) PVBand {
+	var always, ever *Bitmap
+	for _, c := range corners {
+		img := Simulate(mask, window, opt, c)
+		b := img.PrintedBitmap()
+		if always == nil {
+			always, ever = b.clone(), b.clone()
+			continue
+		}
+		always = always.And(b)
+		ever = ever.Or(b)
+	}
+	var pv PVBand
+	if always == nil {
+		return pv
+	}
+	pv.Always = always.ToRects()
+	pv.Ever = ever.ToRects()
+	pv.Band = ever.AndNot(always).ToRects()
+	return pv
+}
+
+// BandArea returns the PV band area in nm^2.
+func (pv PVBand) BandArea() int64 { return geom.AreaOf(pv.Band) }
+
+// StandardCorners returns the conventional 5-corner condition set:
+// nominal, +-defocus at nominal dose, and +-dose at best focus.
+func StandardCorners(defocus, doseDelta float64) []Condition {
+	return []Condition{
+		Nominal,
+		{Defocus: defocus, Dose: 1},
+		{Defocus: -defocus, Dose: 1},
+		{Defocus: 0, Dose: 1 + doseDelta},
+		{Defocus: 0, Dose: 1 - doseDelta},
+	}
+}

@@ -1,0 +1,248 @@
+// Package opc implements optical proximity correction and its
+// companions: edge fragmentation, the model-based simulate-then-move
+// feedback loop, rule-based bias correction, sub-resolution assist
+// feature (SRAF) insertion, mask-rule checking (MRC), and post-OPC
+// verification (ORC). Together with the litho package this reproduces
+// the RET/OPC toolchain whose value the DFM panel debates.
+package opc
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/litho"
+	"repro/internal/tech"
+)
+
+// Fragment is one movable edge segment with its current bias along the
+// outward normal (positive = moved outward).
+type Fragment struct {
+	Edge geom.Edge  // the drawn sub-edge this fragment controls
+	Site geom.Point // EPE control site (fragment midpoint)
+	Bias int64      // nm along the outward normal
+	// MaxOut caps outward movement so facing edges never bridge the
+	// mask: (gap to nearest neighbor - min mask space) / 2.
+	MaxOut int64
+}
+
+// FragmentEdges cuts the drawn geometry's boundary into fragments:
+// edges longer than maxLen are subdivided; ends of long edges get
+// short corner fragments (cornerLen) so corners can be corrected
+// independently of the edge body — the standard OPC fragmentation
+// scheme.
+func FragmentEdges(drawn []geom.Rect, maxLen, cornerLen int64) []*Fragment {
+	if maxLen <= 0 {
+		maxLen = 120
+	}
+	if cornerLen <= 0 || cornerLen >= maxLen {
+		cornerLen = maxLen / 3
+	}
+	var out []*Fragment
+	for _, e := range geom.BoundaryEdges(drawn) {
+		L := e.Length()
+		var cuts []int64 // fragment lengths along the edge
+		switch {
+		case L <= 2*cornerLen:
+			cuts = []int64{L}
+		default:
+			body := L - 2*cornerLen
+			n := (body + maxLen - 1) / maxLen
+			cuts = append(cuts, cornerLen)
+			for i := int64(0); i < n; i++ {
+				seg := body / n
+				if i < body%n {
+					seg++
+				}
+				cuts = append(cuts, seg)
+			}
+			cuts = append(cuts, cornerLen)
+		}
+		pos := int64(0)
+		for _, c := range cuts {
+			if c <= 0 {
+				continue
+			}
+			sub := subEdge(e, pos, pos+c)
+			out = append(out, &Fragment{
+				Edge: sub,
+				Site: sub.Midpoint(),
+			})
+			pos += c
+		}
+	}
+	return out
+}
+
+// subEdge returns the [a, b] segment of the edge measured from P0.
+func subEdge(e geom.Edge, a, b int64) geom.Edge {
+	if e.Horizontal() {
+		return geom.Edge{
+			P0:       geom.Pt(e.P0.X+a, e.P0.Y),
+			P1:       geom.Pt(e.P0.X+b, e.P0.Y),
+			Interior: e.Interior,
+		}
+	}
+	return geom.Edge{
+		P0:       geom.Pt(e.P0.X, e.P0.Y+a),
+		P1:       geom.Pt(e.P0.X, e.P0.Y+b),
+		Interior: e.Interior,
+	}
+}
+
+// extrude returns the rect swept by moving the edge outward (d > 0) or
+// the strip just inside the edge (d < 0).
+func extrude(e geom.Edge, d int64) geom.Rect {
+	n := e.OutwardNormal()
+	if e.Horizontal() {
+		y := e.P0.Y
+		if n.Y > 0 {
+			if d > 0 {
+				return geom.R(e.P0.X, y, e.P1.X, y+d)
+			}
+			return geom.R(e.P0.X, y+d, e.P1.X, y)
+		}
+		if d > 0 {
+			return geom.R(e.P0.X, y-d, e.P1.X, y)
+		}
+		return geom.R(e.P0.X, y, e.P1.X, y-d)
+	}
+	x := e.P0.X
+	if n.X > 0 {
+		if d > 0 {
+			return geom.R(x, e.P0.Y, x+d, e.P1.Y)
+		}
+		return geom.R(x+d, e.P0.Y, x, e.P1.Y)
+	}
+	if d > 0 {
+		return geom.R(x-d, e.P0.Y, x, e.P1.Y)
+	}
+	return geom.R(x, e.P0.Y, x-d, e.P1.Y)
+}
+
+// ApplyBias builds the corrected mask: the drawn geometry plus the
+// outward-biased strips minus the inward-biased strips of every
+// fragment.
+func ApplyBias(drawn []geom.Rect, frags []*Fragment) []geom.Rect {
+	var add, sub []geom.Rect
+	for _, f := range frags {
+		switch {
+		case f.Bias > 0:
+			add = append(add, extrude(f.Edge, f.Bias))
+		case f.Bias < 0:
+			sub = append(sub, extrude(f.Edge, f.Bias))
+		}
+	}
+	mask := geom.Union(drawn, add)
+	if len(sub) > 0 {
+		mask = geom.Subtract(mask, sub)
+	}
+	return mask
+}
+
+// ModelOpts configures the model-based OPC loop.
+type ModelOpts struct {
+	Iterations   int
+	Gain         float64 // feedback gain on EPE, typically 0.5-0.8
+	MaxBias      int64   // MRC clamp on fragment movement, nm
+	MinMaskSpace int64   // smallest legal mask gap; caps outward bias
+	MaxLen       int64   // fragment length
+	CornerLen    int64   // corner fragment length
+	Cond         litho.Condition
+}
+
+// DefaultModelOpts returns production-flavored defaults.
+func DefaultModelOpts() ModelOpts {
+	return ModelOpts{
+		Iterations:   5,
+		Gain:         0.6,
+		MaxBias:      40,
+		MinMaskSpace: 40,
+		MaxLen:       120,
+		CornerLen:    40,
+		Cond:         litho.Nominal,
+	}
+}
+
+// capOutward fills every fragment's MaxOut from the gap to its nearest
+// outward neighbor, so the feedback loop cannot bridge the mask.
+func capOutward(drawn []geom.Rect, frags []*Fragment, mo ModelOpts) {
+	norm := geom.Normalize(drawn)
+	ix := geom.NewIndex(1024)
+	ix.InsertAll(norm)
+	probeDist := 2*mo.MaxBias + mo.MinMaskSpace + 10
+	for _, f := range frags {
+		f.MaxOut = mo.MaxBias
+		probe := extrude(f.Edge, probeDist)
+		n := f.Edge.OutwardNormal()
+		probe = probe.Translate(geom.Pt(n.X, n.Y))
+		edgeRect := geom.R(f.Edge.P0.X, f.Edge.P0.Y, f.Edge.P1.X, f.Edge.P1.Y)
+		minGap := probeDist + 1
+		ix.QueryFunc(probe, func(id int, r geom.Rect) bool {
+			if !r.Overlaps(probe) {
+				return true
+			}
+			if g := edgeRect.Distance(r); g > 0 && g < minGap {
+				minGap = g
+			}
+			return true
+		})
+		if minGap <= probeDist {
+			lim := (minGap - mo.MinMaskSpace) / 2
+			if lim < 0 {
+				lim = 0
+			}
+			if lim < f.MaxOut {
+				f.MaxOut = lim
+			}
+		}
+	}
+}
+
+// Result carries a corrected mask and its convergence history.
+type Result struct {
+	Mask      []geom.Rect
+	Fragments []*Fragment
+	// RMSHistory is the RMS EPE after each iteration (index 0 = the
+	// uncorrected mask).
+	RMSHistory []float64
+}
+
+// ModelBased runs the simulate-then-move loop: each iteration
+// simulates the current mask, measures EPE at every fragment's control
+// site against the drawn target, and moves the fragment against the
+// error. Window is the simulation region (drawn geometry plus optical
+// ambit).
+func ModelBased(drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo ModelOpts) Result {
+	frags := FragmentEdges(drawn, mo.MaxLen, mo.CornerLen)
+	capOutward(drawn, frags, mo)
+	res := Result{Fragments: frags}
+
+	for it := 0; it <= mo.Iterations; it++ {
+		mask := ApplyBias(drawn, frags)
+		img := litho.Simulate(mask, window, opt, mo.Cond)
+		var sq float64
+		n := 0
+		for _, f := range frags {
+			s := img.EPEAt(f.Edge, f.Site)
+			sq += s.EPE * s.EPE
+			n++
+			if it < mo.Iterations {
+				// Move against the error; clamp to mask rules.
+				f.Bias -= int64(mo.Gain * s.EPE)
+				if f.Bias > f.MaxOut {
+					f.Bias = f.MaxOut
+				}
+				if f.Bias < -mo.MaxBias {
+					f.Bias = -mo.MaxBias
+				}
+			}
+		}
+		rms := 0.0
+		if n > 0 {
+			rms = math.Sqrt(sq / float64(n))
+		}
+		res.RMSHistory = append(res.RMSHistory, rms)
+		res.Mask = mask
+	}
+	return res
+}

@@ -1,0 +1,72 @@
+package opc
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/litho"
+	"repro/internal/tech"
+)
+
+// ORC — post-OPC (optical rule) verification: simulate the corrected
+// mask and verify the printed contour stays within tolerance of the
+// drawn target everywhere, then hotspot-scan the result. OPC bugs and
+// un-correctable layout both surface here; ORC findings feed the DRC
+// Plus pattern library.
+
+// ORCOpts configures verification.
+type ORCOpts struct {
+	EPETol     float64 // |EPE| above this is a violation, nm
+	SampleStep int64   // metrology site spacing along edges
+	MinWidth   int64   // printed pinch limit for the hotspot scan
+	MinSpace   int64   // printed bridge limit
+	Cond       litho.Condition
+}
+
+// DefaultORCOpts returns signoff-flavored defaults for a node.
+func DefaultORCOpts(t *tech.Tech, layer tech.Layer) ORCOpts {
+	return ORCOpts{
+		EPETol:     12,
+		SampleStep: 120,
+		MinWidth:   t.Rules[layer].MinWidth * 6 / 10,
+		MinSpace:   t.Rules[layer].MinSpace * 6 / 10,
+		Cond:       litho.Nominal,
+	}
+}
+
+// ORCViolation is one out-of-tolerance site.
+type ORCViolation struct {
+	At  geom.Point
+	EPE float64
+}
+
+func (v ORCViolation) String() string {
+	return fmt.Sprintf("EPE %.1fnm @ %v", v.EPE, v.At)
+}
+
+// ORCReport is the verification outcome.
+type ORCReport struct {
+	Stats      litho.EPEStats
+	Violations []ORCViolation
+	Hotspots   []litho.Hotspot
+}
+
+// Clean reports whether verification passed outright.
+func (r ORCReport) Clean() bool {
+	return len(r.Violations) == 0 && len(r.Hotspots) == 0
+}
+
+// Verify simulates the mask in the window and checks the print against
+// the drawn target.
+func Verify(drawn, mask []geom.Rect, window geom.Rect, opt tech.Optics, oo ORCOpts) ORCReport {
+	img := litho.Simulate(mask, window, opt, oo.Cond)
+	samples := img.MeasureEPE(drawn, oo.SampleStep)
+	rep := ORCReport{Stats: litho.SummarizeEPE(samples)}
+	for _, s := range samples {
+		if s.EPE > oo.EPETol || s.EPE < -oo.EPETol {
+			rep.Violations = append(rep.Violations, ORCViolation{At: s.At, EPE: s.EPE})
+		}
+	}
+	rep.Hotspots = img.FindHotspots(oo.MinWidth, oo.MinSpace)
+	return rep
+}

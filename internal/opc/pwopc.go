@@ -1,0 +1,109 @@
+package opc
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/litho"
+	"repro/internal/tech"
+)
+
+// Process-window OPC: instead of correcting at best focus only, the
+// feedback loop averages the EPE over a set of weighted process
+// corners. The resulting mask trades a little nominal fidelity for
+// much better behaviour at the corners — the "process-window aware"
+// correction that displaced nominal-only OPC.
+
+// PWCorner is one weighted optimization condition.
+type PWCorner struct {
+	Cond   litho.Condition
+	Weight float64
+}
+
+// StandardPWCorners returns the usual nominal-plus-defocus pair with a
+// 2:1 weighting.
+func StandardPWCorners(defocus float64) []PWCorner {
+	return []PWCorner{
+		{Cond: litho.Nominal, Weight: 2},
+		{Cond: litho.Condition{Defocus: defocus, Dose: 1}, Weight: 1},
+	}
+}
+
+// PWResult carries the corrected mask and per-corner RMS history.
+type PWResult struct {
+	Mask      []geom.Rect
+	Fragments []*Fragment
+	// RMSByCorner[i][k] is corner k's RMS EPE after iteration i.
+	RMSByCorner [][]float64
+}
+
+// ProcessWindowOPC runs the multi-corner simulate-then-move loop.
+func ProcessWindowOPC(drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo ModelOpts, corners []PWCorner) PWResult {
+	if len(corners) == 0 {
+		corners = StandardPWCorners(80)
+	}
+	frags := FragmentEdges(drawn, mo.MaxLen, mo.CornerLen)
+	capOutward(drawn, frags, mo)
+	res := PWResult{Fragments: frags}
+
+	var wsum float64
+	for _, c := range corners {
+		wsum += c.Weight
+	}
+	if wsum == 0 {
+		wsum = 1
+	}
+
+	for it := 0; it <= mo.Iterations; it++ {
+		mask := ApplyBias(drawn, frags)
+		// Simulate every corner once per iteration.
+		imgs := make([]*litho.Image, len(corners))
+		for k, c := range corners {
+			imgs[k] = litho.Simulate(mask, window, opt, c.Cond)
+		}
+		rms := make([]float64, len(corners))
+		sq := make([]float64, len(corners))
+		for _, f := range frags {
+			var weighted float64
+			for k, c := range corners {
+				s := imgs[k].EPEAt(f.Edge, f.Site)
+				sq[k] += s.EPE * s.EPE
+				weighted += c.Weight * s.EPE
+			}
+			if it < mo.Iterations {
+				f.Bias -= int64(mo.Gain * weighted / wsum)
+				if f.Bias > f.MaxOut {
+					f.Bias = f.MaxOut
+				}
+				if f.Bias < -mo.MaxBias {
+					f.Bias = -mo.MaxBias
+				}
+			}
+		}
+		n := float64(len(frags))
+		for k := range rms {
+			if n > 0 {
+				rms[k] = math.Sqrt(sq[k] / n)
+			}
+		}
+		res.RMSByCorner = append(res.RMSByCorner, rms)
+		res.Mask = mask
+	}
+	return res
+}
+
+// WorstCornerRMS returns the largest per-corner RMS of the final
+// iteration.
+func (r PWResult) WorstCornerRMS() float64 {
+	if len(r.RMSByCorner) == 0 {
+		return 0
+	}
+	last := r.RMSByCorner[len(r.RMSByCorner)-1]
+	worst := 0.0
+	for _, v := range last {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

@@ -1,0 +1,102 @@
+package opc
+
+import (
+	"repro/internal/geom"
+)
+
+// Rule-based OPC: the 1996-era precursor to model-based correction. A
+// fixed bias table keyed on the local environment is applied to every
+// edge, and line ends get hammerhead extensions. Cheap, fast, and
+// measurably worse than model-based — which is exactly the comparison
+// experiment T3 runs.
+
+// RuleOpts is the rule-based bias table.
+type RuleOpts struct {
+	// EdgeBias is the uniform outward bias for feature edges, nm.
+	EdgeBias int64
+	// DenseBias replaces EdgeBias when another feature lies within
+	// DenseSpace of the edge (dense features print wider, so they get
+	// less correction).
+	DenseBias  int64
+	DenseSpace int64
+	// LineEndExt extends line-end edges outward (hammerhead stem), nm.
+	LineEndExt int64
+	// LineEndMax is the maximum edge length treated as a line end.
+	LineEndMax int64
+}
+
+// DefaultRuleOpts returns a table calibrated for the N45 optics.
+func DefaultRuleOpts() RuleOpts {
+	return RuleOpts{
+		EdgeBias:   8,
+		DenseBias:  4,
+		DenseSpace: 150,
+		LineEndExt: 30,
+		LineEndMax: 90,
+	}
+}
+
+// RuleBased applies the bias table and returns the corrected mask.
+func RuleBased(drawn []geom.Rect, ro RuleOpts) []geom.Rect {
+	norm := geom.Normalize(drawn)
+	ix := geom.NewIndex(1024)
+	ix.InsertAll(norm)
+
+	frags := make([]*Fragment, 0, 64)
+	for _, e := range geom.BoundaryEdges(norm) {
+		f := &Fragment{Edge: e, Site: e.Midpoint()}
+		switch {
+		case e.Length() <= ro.LineEndMax:
+			f.Bias = ro.LineEndExt
+		case hasNeighbor(ix, norm, e, ro.DenseSpace):
+			f.Bias = ro.DenseBias
+		default:
+			f.Bias = ro.EdgeBias
+		}
+		frags = append(frags, f)
+	}
+	return ApplyBias(norm, frags)
+}
+
+// hasNeighbor reports whether other geometry lies within dist outside
+// the edge.
+func hasNeighbor(ix *geom.Index, norm []geom.Rect, e geom.Edge, dist int64) bool {
+	probe := extrude(e, dist)
+	// Step the probe off the edge by 1nm so the feature itself does
+	// not count.
+	n := e.OutwardNormal()
+	probe = probe.Translate(geom.Pt(n.X, n.Y))
+	found := false
+	ix.QueryFunc(probe, func(id int, r geom.Rect) bool {
+		if r.Overlaps(probe) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// MRC (mask rule check) limits for corrected masks.
+type MRC struct {
+	MinFeature int64 // smallest legal mask feature dimension
+	MinSpace   int64 // smallest legal mask gap
+}
+
+// MRCViolations reports where the mask violates mask manufacturing
+// rules: features thinner than MinFeature or gaps tighter than
+// MinSpace. (OPC must not emit an unmanufacturable mask; SRAFs are
+// checked against the same limits.)
+func (m MRC) MRCViolations(mask []geom.Rect) []geom.Rect {
+	var out []geom.Rect
+	norm := geom.Normalize(mask)
+	if m.MinFeature > 1 {
+		thin := geom.Subtract(norm, geom.Open(norm, m.MinFeature/2))
+		out = append(out, thin...)
+	}
+	if m.MinSpace > 1 {
+		pinchGaps := geom.Subtract(geom.Close(norm, m.MinSpace/2), norm)
+		out = append(out, pinchGaps...)
+	}
+	return geom.Normalize(out)
+}

@@ -1,0 +1,90 @@
+package opc
+
+import (
+	"repro/internal/geom"
+)
+
+// Sub-resolution assist features: narrow bars placed next to isolated
+// edges make the local environment look dense, stabilizing the main
+// feature's CD through focus, while staying below the print threshold
+// themselves. Insertion here is rule-based (distance/width/count
+// tables), the production norm at 45nm; experiment F1 quantifies the
+// process-window payoff.
+
+// SRAFOpts is the assist insertion rule table.
+type SRAFOpts struct {
+	Width    int64 // assist bar width, nm (sub-resolution)
+	Distance int64 // edge-to-first-assist spacing, nm
+	Pitch    int64 // spacing between scatter bars (first-to-second), nm
+	Bars     int   // scatter bars per side where space allows
+	MinSpan  int64 // shortest edge that receives an assist
+	// ClearMargin is extra empty space required beyond the last bar.
+	ClearMargin int64
+}
+
+// DefaultSRAFOpts returns the N45 assist rules.
+func DefaultSRAFOpts() SRAFOpts {
+	return SRAFOpts{Width: 35, Distance: 100, Pitch: 130, Bars: 2, MinSpan: 150, ClearMargin: 60}
+}
+
+// reach returns the outer extent of bar k (0-based) from the edge.
+func (so SRAFOpts) reach(k int) int64 {
+	return so.Distance + int64(k)*so.Pitch + so.Width
+}
+
+// InsertSRAF returns the assist bars for the drawn geometry (not
+// including the drawn geometry itself). Each qualifying edge receives
+// up to Bars scatter bars; when the clear space fits only fewer bars,
+// fewer are placed.
+func InsertSRAF(drawn []geom.Rect, so SRAFOpts) []geom.Rect {
+	norm := geom.Normalize(drawn)
+	ix := geom.NewIndex(1024)
+	ix.InsertAll(norm)
+	if so.Bars < 1 {
+		so.Bars = 1
+	}
+
+	clearTo := func(e geom.Edge, dist int64) bool {
+		probe := extrude(e, dist)
+		n := e.OutwardNormal()
+		probe = probe.Translate(geom.Pt(n.X, n.Y))
+		blocked := false
+		ix.QueryFunc(probe, func(id int, r geom.Rect) bool {
+			if r.Overlaps(probe) {
+				blocked = true
+				return false
+			}
+			return true
+		})
+		return !blocked
+	}
+
+	var assists []geom.Rect
+	for _, e := range geom.BoundaryEdges(norm) {
+		if e.Length() < so.MinSpan {
+			continue
+		}
+		// Fit as many bars as the clear space allows.
+		bars := 0
+		for k := so.Bars; k >= 1; k-- {
+			if clearTo(e, so.reach(k-1)+so.ClearMargin) {
+				bars = k
+				break
+			}
+		}
+		for k := 0; k < bars; k++ {
+			outer := extrude(e, so.reach(k))
+			inner := extrude(e, so.Distance+int64(k)*so.Pitch)
+			assists = append(assists, geom.Subtract([]geom.Rect{outer}, []geom.Rect{inner})...)
+		}
+	}
+	// Assists from facing isolated edges can land on each other; the
+	// normalized union keeps the mask well-formed, and MRC checks
+	// catch any resulting slivers.
+	return geom.Normalize(assists)
+}
+
+// WithSRAF returns mask geometry plus its assists.
+func WithSRAF(mask []geom.Rect, so SRAFOpts) []geom.Rect {
+	return geom.Union(mask, InsertSRAF(mask, so))
+}

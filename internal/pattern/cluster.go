@@ -1,0 +1,63 @@
+package pattern
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Incremental similarity clustering of hotspot patterns (Ma, Ghan,
+// Capodieci et al., "Automatic hotspot classification using
+// pattern-based clustering"): each incoming pattern joins the first
+// existing cluster whose representative it resembles at or above the
+// threshold, otherwise it seeds a new cluster. The result reduces
+// thousands of raw hotspots to a handful of root-cause classes.
+
+// Cluster is one group of similar patterns.
+type Cluster struct {
+	Rep     Pattern // the first member, used as the match target
+	Members []geom.Point
+	Count   int
+}
+
+// Clusterer accumulates patterns into similarity clusters.
+type Clusterer struct {
+	Threshold float64 // Jaccard similarity needed to join a cluster
+	Oriented  bool    // if set, match under all 8 orientations
+	clusters  []*Cluster
+}
+
+// NewClusterer creates a clusterer with the given similarity threshold
+// in (0, 1].
+func NewClusterer(threshold float64, oriented bool) *Clusterer {
+	return &Clusterer{Threshold: threshold, Oriented: oriented}
+}
+
+// Add places the pattern observed at the given anchor into a cluster
+// and returns the cluster index.
+func (c *Clusterer) Add(p Pattern, at geom.Point) int {
+	sim := Jaccard
+	if c.Oriented {
+		sim = JaccardOriented
+	}
+	for i, cl := range c.clusters {
+		if sim(cl.Rep, p) >= c.Threshold {
+			cl.Members = append(cl.Members, at)
+			cl.Count++
+			return i
+		}
+	}
+	c.clusters = append(c.clusters, &Cluster{Rep: p, Members: []geom.Point{at}, Count: 1})
+	return len(c.clusters) - 1
+}
+
+// Clusters returns the clusters sorted by descending size.
+func (c *Clusterer) Clusters() []*Cluster {
+	out := make([]*Cluster, len(c.clusters))
+	copy(out, c.clusters)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Len returns the number of clusters formed.
+func (c *Clusterer) Len() int { return len(c.clusters) }

@@ -1,0 +1,119 @@
+package pattern
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Auto-fixing: the enforcement+repair half of the pattern methodology.
+// A Fix pairs a known-bad construct with a pre-characterized
+// replacement; ApplyFixes finds every occurrence in a layout and swaps
+// the window contents for the fix, keeping a change only when the
+// caller's acceptance check (typically an incremental DRC) passes.
+// This is how stitch repairs and litho-hotspot fixes ship inside
+// production flows: opportunistic, local, verified per site.
+
+// Fix is one pre-characterized repair.
+type Fix struct {
+	Name string
+	// Match is the construct to find (exact canonical match).
+	Match Pattern
+	// Replacement is the window-local geometry that substitutes the
+	// window's contents at a match site.
+	Replacement []geom.Rect
+}
+
+// FixResult reports an ApplyFixes run.
+type FixResult struct {
+	Matched  int // sites where a fix's pattern matched
+	Applied  int // sites actually rewritten
+	Rejected int // sites where the acceptance check failed
+	Out      []geom.Rect
+}
+
+// ApplyFixes scans the layer for each fix's pattern and rewrites
+// matching windows. accept, when non-nil, is called with the candidate
+// layer after each site's rewrite and the affected window; returning
+// false rolls the site back. Sites are processed in deterministic
+// order; overlapping windows are skipped after the first rewrite
+// (their geometry changed).
+func ApplyFixes(rs []geom.Rect, fixes []Fix, accept func(candidate []geom.Rect, window geom.Rect) bool) FixResult {
+	cur := geom.Normalize(rs)
+	res := FixResult{}
+	if len(fixes) == 0 {
+		res.Out = cur
+		return res
+	}
+
+	// All fixes must share a radius for one scan; group by radius.
+	byRadius := map[int64][]Fix{}
+	for _, f := range fixes {
+		byRadius[f.Match.Radius] = append(byRadius[f.Match.Radius], f)
+	}
+	var radii []int64
+	for r := range byRadius {
+		radii = append(radii, r)
+	}
+	sort.Slice(radii, func(i, j int) bool { return radii[i] < radii[j] })
+
+	var dirty []geom.Rect // windows already rewritten this run
+	for _, radius := range radii {
+		group := byRadius[radius]
+		byHash := map[uint64]*Fix{}
+		for i := range group {
+			byHash[group[i].Match.CanonHash()] = &group[i]
+		}
+		ix := geom.NewIndex(4 * radius)
+		ix.InsertAll(cur)
+		for _, a := range Anchors(cur) {
+			p := ExtractAtIndexed(ix, a, radius)
+			fx, ok := byHash[p.CanonHash()]
+			if !ok {
+				continue
+			}
+			res.Matched++
+			window := geom.R(a.X-radius, a.Y-radius, a.X+radius, a.Y+radius)
+			overlapsDirty := false
+			for _, d := range dirty {
+				if d.Overlaps(window) {
+					overlapsDirty = true
+					break
+				}
+			}
+			if overlapsDirty {
+				res.Rejected++
+				continue
+			}
+			// Rewrite: clear the window, insert the translated
+			// replacement.
+			repl := make([]geom.Rect, 0, len(fx.Replacement))
+			for _, r := range fx.Replacement {
+				repl = append(repl, r.Translate(geom.Pt(a.X-radius, a.Y-radius)))
+			}
+			candidate := geom.Union(geom.Subtract(cur, []geom.Rect{window}), repl)
+			if accept != nil && !accept(candidate, window) {
+				res.Rejected++
+				continue
+			}
+			cur = candidate
+			dirty = append(dirty, window)
+			res.Applied++
+			// The index is stale inside the dirty windows, but those
+			// are skipped above; anchors elsewhere still extract
+			// correctly because their windows exclude dirty regions
+			// (enforced by the overlap check).
+		}
+	}
+	res.Out = cur
+	return res
+}
+
+// FixFromExample builds a Fix by extracting the bad construct from an
+// example layout at an anchor and pairing it with the repaired
+// geometry clipped from a second layout at the same anchor.
+func FixFromExample(name string, bad, good []geom.Rect, at geom.Point, radius int64) Fix {
+	match := ExtractAt(bad, at, radius)
+	repaired := ExtractAt(good, at, radius)
+	return Fix{Name: name, Match: match, Replacement: repaired.Rects}
+}

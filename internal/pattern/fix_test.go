@@ -1,0 +1,104 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// tipFixture builds the line-end-gap hazard (gap 100) and its repaired
+// form (tips pulled back to a 180 gap), plus the fix extracted from
+// them.
+func tipFixture() (fix Fix) {
+	bad := []geom.Rect{geom.R(0, 0, 70, 500), geom.R(0, 600, 70, 1100)}
+	good := []geom.Rect{geom.R(0, 0, 70, 460), geom.R(0, 640, 70, 1100)}
+	return FixFromExample("tip-gap", bad, good, geom.Pt(0, 500), 150)
+}
+
+func TestApplyFixesRewritesMatchedSite(t *testing.T) {
+	fix := tipFixture()
+	// The same construct somewhere else, plus an innocent line.
+	target := []geom.Rect{
+		geom.R(3000, 1000, 3070, 1500),
+		geom.R(3000, 1600, 3070, 2100),
+		geom.R(5000, 0, 5070, 2000), // innocent
+	}
+	res := ApplyFixes(target, []Fix{fix}, nil)
+	if res.Matched == 0 || res.Applied == 0 {
+		t.Fatalf("fix not applied: %+v", res)
+	}
+	// The tip gap must now be wider: the region between the original
+	// tips (1500-1600) plus the pullback margins must be empty.
+	if geom.AreaOf(geom.Intersect(res.Out, []geom.Rect{geom.R(3000, 1470, 3070, 1630)})) != 0 {
+		t.Fatalf("tips not pulled back")
+	}
+	// The lines still exist outside the fix window.
+	if !geom.CoversPoint(res.Out, geom.Pt(3035, 1100)) || !geom.CoversPoint(res.Out, geom.Pt(3035, 2000)) {
+		t.Fatalf("line bodies damaged")
+	}
+	// The innocent line is untouched.
+	if geom.AreaOf(geom.Intersect(res.Out, []geom.Rect{geom.R(5000, 0, 5070, 2000)})) != 70*2000 {
+		t.Fatalf("innocent line modified")
+	}
+}
+
+func TestApplyFixesAcceptCallback(t *testing.T) {
+	fix := tipFixture()
+	target := []geom.Rect{
+		geom.R(3000, 1000, 3070, 1500),
+		geom.R(3000, 1600, 3070, 2100),
+	}
+	// Rejecting accept: nothing changes.
+	res := ApplyFixes(target, []Fix{fix}, func(candidate []geom.Rect, w geom.Rect) bool {
+		return false
+	})
+	if res.Applied != 0 || res.Rejected == 0 {
+		t.Fatalf("rejection not honored: %+v", res)
+	}
+	if geom.AreaOf(geom.Xor(res.Out, geom.Normalize(target))) != 0 {
+		t.Fatalf("geometry changed despite rejection")
+	}
+	// Accepting callback receives the affected window.
+	var gotWindow geom.Rect
+	ApplyFixes(target, []Fix{fix}, func(candidate []geom.Rect, w geom.Rect) bool {
+		gotWindow = w
+		return true
+	})
+	if !gotWindow.Contains(geom.Pt(3000, 1500)) {
+		t.Fatalf("window %v does not cover the match site", gotWindow)
+	}
+}
+
+func TestApplyFixesSkipsOverlappingSites(t *testing.T) {
+	fix := tipFixture()
+	// Two constructs close enough that their windows overlap: only one
+	// may be rewritten per pass.
+	target := []geom.Rect{
+		geom.R(0, 1000, 70, 1500), geom.R(0, 1600, 70, 2100),
+		geom.R(200, 1000, 270, 1500), geom.R(200, 1600, 270, 2100),
+	}
+	res := ApplyFixes(target, []Fix{fix}, nil)
+	if res.Applied+res.Rejected < 2 {
+		t.Fatalf("sites unaccounted: %+v", res)
+	}
+	if res.Applied < 1 {
+		t.Fatalf("no site fixed: %+v", res)
+	}
+}
+
+func TestApplyFixesNoMatchNoChange(t *testing.T) {
+	fix := tipFixture()
+	clean := []geom.Rect{geom.R(0, 0, 5000, 5000)}
+	res := ApplyFixes(clean, []Fix{fix}, nil)
+	if res.Matched != 0 || res.Applied != 0 {
+		t.Fatalf("phantom match: %+v", res)
+	}
+	if geom.AreaOf(geom.Xor(res.Out, clean)) != 0 {
+		t.Fatalf("clean layout changed")
+	}
+	// Empty fix list is the identity.
+	res = ApplyFixes(clean, nil, nil)
+	if geom.AreaOf(geom.Xor(res.Out, clean)) != 0 {
+		t.Fatalf("no-fix run changed geometry")
+	}
+}

@@ -1,0 +1,60 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/litho"
+	"repro/internal/tech"
+)
+
+// The full DFM repair loop, end to end: a layout with a known litho
+// hazard (a drawn 30nm neck that pinches away in resist) is scanned
+// for hotspots, the hazard construct is repaired with a
+// pre-characterized pattern fix (widen the neck to full wire width),
+// and the re-scan shows the hotspots gone — with an incremental
+// litho acceptance check guarding every rewrite.
+func TestFixLoopRemovesLithoHotspots(t *testing.T) {
+	tt := tech.N45()
+
+	// Hazard: a 90nm wire necked to 30nm for 200nm of its run.
+	mkNeck := func(x int64) []geom.Rect {
+		return []geom.Rect{
+			geom.R(x, 0, x+90, 1000),
+			geom.R(x+30, 1000, x+60, 1200),
+			geom.R(x, 1200, x+90, 2200),
+		}
+	}
+	var lay []geom.Rect
+	for i := int64(0); i < 3; i++ {
+		lay = append(lay, mkNeck(i*2000)...)
+	}
+	lay = geom.Normalize(lay)
+
+	window := geom.BBoxOf(lay).Bloat(300)
+	img := litho.Simulate(lay, window, tt.Optics, litho.Nominal)
+	before := img.FindHotspots(42, 42)
+	if len(before) == 0 {
+		t.Fatalf("neck hazard not detected — fixture broken")
+	}
+
+	// The pre-characterized fix: the necked span becomes full-width.
+	bad := mkNeck(0)
+	good := []geom.Rect{geom.R(0, 0, 90, 2200)}
+	fix := FixFromExample("neck-widen", bad, good, geom.Pt(30, 1000), 400)
+
+	applied := ApplyFixes(lay, []Fix{fix}, func(candidate []geom.Rect, w geom.Rect) bool {
+		// Incremental acceptance: the rewritten window must print
+		// hotspot-free.
+		local := litho.Simulate(candidate, w.Bloat(200), tt.Optics, litho.Nominal)
+		return len(local.FindHotspots(42, 42)) == 0
+	})
+	if applied.Applied == 0 {
+		t.Fatalf("no fixes applied: matched=%d rejected=%d", applied.Matched, applied.Rejected)
+	}
+
+	after := litho.Simulate(applied.Out, window, tt.Optics, litho.Nominal).FindHotspots(42, 42)
+	if len(after) >= len(before) {
+		t.Fatalf("fix loop did not reduce hotspots: %d -> %d", len(before), len(after))
+	}
+}

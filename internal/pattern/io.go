@@ -1,0 +1,149 @@
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Pattern-library serialization: the text format a foundry would ship
+// a DRC Plus deck in. Line-oriented, human-diffable, stdlib-only:
+//
+//	# godfm patterns v1
+//	pattern <name> radius=<nm> exact=<bool> minsim=<f> penalty=<f>
+//	rect <x0> <y0> <x1> <y1>
+//	end
+
+// WriteLibrary serializes the entries.
+func WriteLibrary(w io.Writer, entries []*LibEntry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# godfm patterns v1")
+	for _, e := range entries {
+		fmt.Fprintf(bw, "pattern %s radius=%d exact=%t minsim=%g penalty=%g\n",
+			e.Name, e.P.Radius, e.Exact, e.MinSim, e.Penalty)
+		for _, r := range geom.Normalize(e.P.Rects) {
+			fmt.Fprintf(bw, "rect %d %d %d %d\n", r.X0, r.Y0, r.X1, r.Y1)
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// ReadLibrary parses a library written by WriteLibrary.
+func ReadLibrary(r io.Reader) ([]*LibEntry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []*LibEntry
+	var cur *LibEntry
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(msg string) error {
+			return fmt.Errorf("pattern: line %d: %s: %q", lineNo, msg, line)
+		}
+		switch f[0] {
+		case "pattern":
+			if cur != nil {
+				return nil, fail("nested pattern")
+			}
+			if len(f) < 2 {
+				return nil, fail("pattern needs a name")
+			}
+			cur = &LibEntry{Name: f[1]}
+			for _, kv := range f[2:] {
+				parts := strings.SplitN(kv, "=", 2)
+				if len(parts) != 2 {
+					return nil, fail("malformed attribute")
+				}
+				switch parts[0] {
+				case "radius":
+					v, err := strconv.ParseInt(parts[1], 10, 64)
+					if err != nil {
+						return nil, fail(err.Error())
+					}
+					cur.P.Radius = v
+				case "exact":
+					v, err := strconv.ParseBool(parts[1])
+					if err != nil {
+						return nil, fail(err.Error())
+					}
+					cur.Exact = v
+				case "minsim":
+					v, err := strconv.ParseFloat(parts[1], 64)
+					if err != nil {
+						return nil, fail(err.Error())
+					}
+					cur.MinSim = v
+				case "penalty":
+					v, err := strconv.ParseFloat(parts[1], 64)
+					if err != nil {
+						return nil, fail(err.Error())
+					}
+					cur.Penalty = v
+				default:
+					return nil, fail("unknown attribute")
+				}
+			}
+			if cur.P.Radius <= 0 {
+				return nil, fail("pattern needs a positive radius")
+			}
+		case "rect":
+			if cur == nil {
+				return nil, fail("rect outside pattern")
+			}
+			if len(f) != 5 {
+				return nil, fail("rect needs 4 coordinates")
+			}
+			var c [4]int64
+			for i := 0; i < 4; i++ {
+				v, err := strconv.ParseInt(f[i+1], 10, 64)
+				if err != nil {
+					return nil, fail(err.Error())
+				}
+				c[i] = v
+			}
+			cur.P.Rects = append(cur.P.Rects, geom.R(c[0], c[1], c[2], c[3]))
+		case "end":
+			if cur == nil {
+				return nil, fail("end without pattern")
+			}
+			out = append(out, cur)
+			cur = nil
+		default:
+			return nil, fail("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("pattern: unterminated pattern %q", cur.Name)
+	}
+	return out, nil
+}
+
+// NewMatcherFromLibrary builds a matcher from deserialized entries;
+// all entries must share one radius.
+func NewMatcherFromLibrary(entries []*LibEntry) (*Matcher, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("pattern: empty library")
+	}
+	radius := entries[0].P.Radius
+	m := NewMatcher(radius)
+	for _, e := range entries {
+		if e.P.Radius != radius {
+			return nil, fmt.Errorf("pattern: mixed radii %d and %d", radius, e.P.Radius)
+		}
+		m.AddEntry(e)
+	}
+	return m, nil
+}

@@ -1,0 +1,105 @@
+package pattern
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func sampleLibrary() []*LibEntry {
+	return []*LibEntry{
+		{
+			Name:    "line-end",
+			P:       Pattern{Radius: 150, Rects: []geom.Rect{geom.R(0, 0, 70, 150), geom.R(0, 250, 70, 300)}},
+			Exact:   true,
+			Penalty: 1.5,
+		},
+		{
+			Name:   "blockish",
+			P:      Pattern{Radius: 150, Rects: []geom.Rect{geom.R(10, 10, 290, 290)}},
+			MinSim: 0.85,
+		},
+	}
+}
+
+func TestLibraryRoundTrip(t *testing.T) {
+	lib := sampleLibrary()
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(lib) {
+		t.Fatalf("entry count = %d", len(back))
+	}
+	for i, e := range back {
+		o := lib[i]
+		if e.Name != o.Name || e.Exact != o.Exact || e.MinSim != o.MinSim || e.Penalty != o.Penalty {
+			t.Fatalf("entry %d metadata differs: %+v vs %+v", i, e, o)
+		}
+		if e.P.Radius != o.P.Radius {
+			t.Fatalf("entry %d radius differs", i)
+		}
+		if e.P.CanonHash() != o.P.CanonHash() {
+			t.Fatalf("entry %d geometry differs after round trip", i)
+		}
+	}
+	// The deserialized library behaves in a matcher.
+	m, err := NewMatcherFromLibrary(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("matcher size = %d", m.Len())
+	}
+}
+
+func TestReadLibraryErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"rect outside", "rect 0 0 1 1\n"},
+		{"no name", "pattern\n"},
+		{"bad attr", "pattern p radius=abc\nend\n"},
+		{"unknown attr", "pattern p radius=100 bogus=1\nend\n"},
+		{"missing radius", "pattern p exact=true\nend\n"},
+		{"nested", "pattern p radius=100\npattern q radius=100\n"},
+		{"unterminated", "pattern p radius=100\n"},
+		{"end without pattern", "end\n"},
+		{"bad rect", "pattern p radius=100\nrect 0 0 1\nend\n"},
+		{"unknown directive", "wibble\n"},
+		{"malformed attr", "pattern p radius\nend\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadLibrary(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestNewMatcherFromLibraryValidation(t *testing.T) {
+	if _, err := NewMatcherFromLibrary(nil); err == nil {
+		t.Fatal("empty library accepted")
+	}
+	mixed := []*LibEntry{
+		{Name: "a", P: Pattern{Radius: 100}},
+		{Name: "b", P: Pattern{Radius: 200}},
+	}
+	if _, err := NewMatcherFromLibrary(mixed); err == nil {
+		t.Fatal("mixed radii accepted")
+	}
+}
+
+func TestLibrarySkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\npattern p radius=100 exact=true\nrect 0 0 50 50\nend\n"
+	lib, err := ReadLibrary(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib) != 1 || lib[0].P.Area() != 2500 {
+		t.Fatalf("parse wrong: %+v", lib)
+	}
+}

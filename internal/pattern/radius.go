@@ -1,0 +1,116 @@
+package pattern
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Pattern context-radius optimization (the "pattern association tree"
+// methodology): a pattern's window radius trades sensitivity against
+// specificity. Too small and clean layout matches hotspot classes
+// (false alarms); too large and every occurrence is unique (no
+// generalization). OptimizeRadius sweeps candidate radii, measures
+// the hot/clean class separation at each, and returns the smallest
+// radius that achieves the best achievable false rate.
+
+// RadiusEval is the separation quality at one radius.
+type RadiusEval struct {
+	Radius     int64
+	HotClasses int // distinct classes over hotspot anchors
+	Ambiguous  int // classes that also occur at clean anchors
+	// FalseRate is the fraction of clean anchors whose pattern falls
+	// into a hotspot class: the false-alarm rate of an exact-match
+	// deck built at this radius.
+	FalseRate float64
+}
+
+// OptimizeRadius evaluates the candidate radii for the layer geometry
+// with labeled hotspot and clean anchors, returning the per-radius
+// evaluations (in input order) and the chosen radius.
+func OptimizeRadius(rs []geom.Rect, hot, clean []geom.Point, radii []int64) ([]RadiusEval, int64) {
+	norm := geom.Normalize(rs)
+	if len(radii) == 0 {
+		return nil, 0
+	}
+	maxR := radii[0]
+	for _, r := range radii {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	ix := geom.NewIndex(4 * maxR)
+	ix.InsertAll(norm)
+
+	evals := make([]RadiusEval, 0, len(radii))
+	for _, r := range radii {
+		hotClasses := make(map[uint64]struct{})
+		for _, a := range hot {
+			hotClasses[ExtractAtIndexed(ix, a, r).CanonHash()] = struct{}{}
+		}
+		ambiguous := make(map[uint64]struct{})
+		falses := 0
+		for _, a := range clean {
+			h := ExtractAtIndexed(ix, a, r).CanonHash()
+			if _, bad := hotClasses[h]; bad {
+				falses++
+				ambiguous[h] = struct{}{}
+			}
+		}
+		ev := RadiusEval{Radius: r, HotClasses: len(hotClasses), Ambiguous: len(ambiguous)}
+		if len(clean) > 0 {
+			ev.FalseRate = float64(falses) / float64(len(clean))
+		}
+		evals = append(evals, ev)
+	}
+
+	// Choose the smallest radius achieving the minimum false rate.
+	best := evals[0]
+	for _, ev := range evals[1:] {
+		if ev.FalseRate < best.FalseRate ||
+			(ev.FalseRate == best.FalseRate && ev.Radius < best.Radius) {
+			best = ev
+		}
+	}
+	return evals, best.Radius
+}
+
+// PerPatternRadius assigns each hotspot anchor its own optimal radius:
+// the smallest candidate at which the anchor's pattern class contains
+// no clean anchors — the per-pattern context sizing that beats a
+// fixed-radius deck.
+func PerPatternRadius(rs []geom.Rect, hot, clean []geom.Point, radii []int64) map[geom.Point]int64 {
+	norm := geom.Normalize(rs)
+	if len(radii) == 0 {
+		return nil
+	}
+	sorted := append([]int64{}, radii...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	maxR := sorted[len(sorted)-1]
+	ix := geom.NewIndex(4 * maxR)
+	ix.InsertAll(norm)
+
+	// Clean class sets per radius.
+	cleanClasses := make([]map[uint64]struct{}, len(sorted))
+	for i, r := range sorted {
+		set := make(map[uint64]struct{}, len(clean))
+		for _, a := range clean {
+			set[ExtractAtIndexed(ix, a, r).CanonHash()] = struct{}{}
+		}
+		cleanClasses[i] = set
+	}
+
+	out := make(map[geom.Point]int64, len(hot))
+	for _, a := range hot {
+		chosen := sorted[len(sorted)-1] // fall back to the largest
+		for i, r := range sorted {
+			h := ExtractAtIndexed(ix, a, r).CanonHash()
+			if _, collide := cleanClasses[i][h]; !collide {
+				chosen = r
+				break
+			}
+		}
+		out[a] = chosen
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// radiusFixture builds a layer where hotspot context only becomes
+// distinctive at a larger radius: hot anchors sit at line-end tips
+// that have a *second* line end nearby (facing tip), clean anchors at
+// isolated line-end tips. Within a small radius both look like a bare
+// tip; a radius large enough to see the facing tip separates them.
+func radiusFixture() (rs []geom.Rect, hot, clean []geom.Point) {
+	// Facing tip pairs (hot): gap 260 between tips.
+	for i := int64(0); i < 4; i++ {
+		x := i * 3000
+		rs = append(rs,
+			geom.R(x, 0, x+70, 1000),
+			geom.R(x, 1260, x+70, 2260),
+		)
+		hot = append(hot, geom.Pt(x, 1000))
+	}
+	// Isolated tips (clean).
+	for i := int64(0); i < 4; i++ {
+		x := i*3000 + 15000
+		rs = append(rs, geom.R(x, 0, x+70, 1000))
+		clean = append(clean, geom.Pt(x, 1000))
+	}
+	return
+}
+
+func TestOptimizeRadiusSeparates(t *testing.T) {
+	rs, hot, clean := radiusFixture()
+	radii := []int64{100, 200, 400}
+	evals, best := OptimizeRadius(rs, hot, clean, radii)
+	if len(evals) != 3 {
+		t.Fatalf("eval count = %d", len(evals))
+	}
+	// Radius 100: window [tip-100, tip+100] sees only the bare tip on
+	// both sides -> full confusion.
+	if evals[0].FalseRate != 1 {
+		t.Fatalf("small radius should confuse: %+v", evals[0])
+	}
+	// Radius 400 sees the facing tip -> separation.
+	if evals[2].FalseRate != 0 {
+		t.Fatalf("large radius should separate: %+v", evals[2])
+	}
+	if best != 400 {
+		t.Fatalf("best radius = %d, want 400", best)
+	}
+}
+
+func TestOptimizeRadiusPrefersSmallestAdequate(t *testing.T) {
+	rs, hot, clean := radiusFixture()
+	// 300 already sees the 260 gap's far tip; 400 adds nothing; the
+	// optimizer must prefer 300.
+	_, best := OptimizeRadius(rs, hot, clean, []int64{300, 400})
+	if best != 300 {
+		t.Fatalf("best radius = %d, want 300", best)
+	}
+	// Degenerate inputs.
+	if _, b := OptimizeRadius(rs, hot, clean, nil); b != 0 {
+		t.Fatalf("empty radii should return 0")
+	}
+}
+
+func TestPerPatternRadius(t *testing.T) {
+	rs, hot, clean := radiusFixture()
+	m := PerPatternRadius(rs, hot, clean, []int64{100, 300, 400})
+	if len(m) != len(hot) {
+		t.Fatalf("per-pattern size = %d", len(m))
+	}
+	for a, r := range m {
+		if r != 300 {
+			t.Fatalf("anchor %v got radius %d, want 300", a, r)
+		}
+	}
+}
+
+func TestPDBLifecycle(t *testing.T) {
+	// Three designs: pattern A everywhere, B only in the first two
+	// (gets fixed), C appears in the last (new).
+	a := Pattern{Radius: 100, Rects: []geom.Rect{geom.R(0, 0, 100, 40)}}
+	bp := Pattern{Radius: 100, Rects: []geom.Rect{geom.R(0, 0, 40, 40)}}
+	cp := Pattern{Radius: 100, Rects: []geom.Rect{geom.R(0, 0, 40, 150)}}
+
+	mkCat := func(pats map[*Pattern]int) *Catalog {
+		cat := NewCatalog(100)
+		for p, n := range pats {
+			for i := 0; i < n; i++ {
+				cat.Add(*p, geom.Pt(int64(i), 0))
+			}
+		}
+		return cat
+	}
+
+	pdb := NewPDB(100)
+	if err := pdb.Ingest("d1", mkCat(map[*Pattern]int{&a: 10, &bp: 5})); err != nil {
+		t.Fatal(err)
+	}
+	if err := pdb.Ingest("d2", mkCat(map[*Pattern]int{&a: 12, &bp: 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := pdb.Ingest("d3", mkCat(map[*Pattern]int{&a: 9, &cp: 4})); err != nil {
+		t.Fatal(err)
+	}
+	if pdb.Len() != 3 {
+		t.Fatalf("pdb size = %d", pdb.Len())
+	}
+	by := pdb.ByStatus()
+	if len(by[Recurring]) != 1 || by[Recurring][0].ID != a.CanonHash() {
+		t.Fatalf("recurring wrong: %v", by[Recurring])
+	}
+	if len(by[Retired]) != 1 || by[Retired][0].ID != bp.CanonHash() {
+		t.Fatalf("retired wrong: %v", by[Retired])
+	}
+	if len(by[New]) != 1 || by[New][0].ID != cp.CanonHash() {
+		t.Fatalf("new wrong: %v", by[New])
+	}
+	if by[Recurring][0].Total() != 31 {
+		t.Fatalf("total = %d", by[Recurring][0].Total())
+	}
+}
+
+func TestPDBTopDetractors(t *testing.T) {
+	a := Pattern{Radius: 100, Rects: []geom.Rect{geom.R(0, 0, 100, 40)}}
+	bp := Pattern{Radius: 100, Rects: []geom.Rect{geom.R(0, 0, 40, 40)}}
+	cat := NewCatalog(100)
+	for i := 0; i < 100; i++ {
+		cat.Add(a, geom.Pt(0, 0))
+	}
+	for i := 0; i < 3; i++ {
+		cat.Add(bp, geom.Pt(0, 0))
+	}
+	pdb := NewPDB(100)
+	if err := pdb.Ingest("d1", cat); err != nil {
+		t.Fatal(err)
+	}
+	// Uncharacterized: frequency rules.
+	top := pdb.TopDetractors(2)
+	if len(top) != 2 || top[0].ID != a.CanonHash() {
+		t.Fatalf("frequency ranking wrong")
+	}
+	// Characterize the rare one as a killer: it must jump to #1.
+	if !pdb.SetWeight(bp.CanonHash(), 5.0) {
+		t.Fatal("SetWeight failed")
+	}
+	if pdb.SetWeight(12345, 1) {
+		t.Fatal("SetWeight accepted unknown id")
+	}
+	top = pdb.TopDetractors(2)
+	if top[0].ID != bp.CanonHash() {
+		t.Fatalf("weighted ranking wrong: %v", top[0].ID)
+	}
+}
+
+func TestPDBRadiusMismatch(t *testing.T) {
+	pdb := NewPDB(100)
+	if err := pdb.Ingest("d", NewCatalog(200)); err == nil {
+		t.Fatal("radius mismatch accepted")
+	}
+	if got := pdb.TopDetractors(5); got != nil {
+		t.Fatal("empty pdb returned detractors")
+	}
+}

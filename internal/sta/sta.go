@@ -1,0 +1,336 @@
+// Package sta implements static timing analysis over circuit netlists
+// with a device-model-backed delay calculator: arrival/required/slack
+// propagation, critical-path extraction, per-gate channel-length
+// back-annotation (the litho-aware timing flow of experiment T5), and
+// Monte Carlo timing/leakage analysis (F4).
+package sta
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// LibCell characterizes one gate type's timing.
+type LibCell struct {
+	WN, WP float64 // device widths, nm
+	T0     float64 // intrinsic delay at nominal L and fanout 1, ps
+	Beta   float64 // delay increase per extra fanout
+}
+
+// Lib is the timing library: device models plus per-type cells.
+type Lib struct {
+	NMOS, PMOS device.Model
+	Cells      map[circuit.GateType]LibCell
+}
+
+// DefaultLib returns the N45 timing library matching the layout
+// standard cells.
+func DefaultLib() Lib {
+	return Lib{
+		NMOS: device.NMOS45(),
+		PMOS: device.PMOS45(),
+		Cells: map[circuit.GateType]LibCell{
+			circuit.Inv:   {WN: 250, WP: 350, T0: 12, Beta: 0.45},
+			circuit.Nand2: {WN: 300, WP: 350, T0: 16, Beta: 0.50},
+			circuit.Nor2:  {WN: 250, WP: 500, T0: 19, Beta: 0.55},
+			circuit.Buf:   {WN: 300, WP: 420, T0: 22, Beta: 0.30},
+		},
+	}
+}
+
+// GateDelay returns the delay (ps) of a gate with the given fanout and
+// effective channel length: the intrinsic delay scaled by load and by
+// the drive degradation of the printed channel versus nominal.
+func (lib Lib) GateDelay(t circuit.GateType, fanout int, lEff float64) float64 {
+	c, ok := lib.Cells[t]
+	if !ok {
+		return 0
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	nom := lib.NMOS.IOn(c.WN, lib.NMOS.LNom) + lib.PMOS.IOn(c.WP, lib.PMOS.LNom)
+	eff := lib.NMOS.IOn(c.WN, lEff) + lib.PMOS.IOn(c.WP, lEff)
+	drive := 1.0
+	if eff > 0 {
+		drive = nom / eff
+	} else {
+		drive = 10 // dead device: huge delay
+	}
+	return c.T0 * (1 + c.Beta*float64(fanout-1)) * drive
+}
+
+// GateLeak returns the leakage (A) of a gate at the given
+// leakage-equivalent channel length.
+func (lib Lib) GateLeak(t circuit.GateType, lLeak float64) float64 {
+	c, ok := lib.Cells[t]
+	if !ok {
+		return 0
+	}
+	return lib.NMOS.ILeak(c.WN, lLeak) + lib.PMOS.ILeak(c.WP, lLeak)
+}
+
+// Lengths carries per-gate effective channel lengths; index = gate ID.
+// The zero value (nil slices) means nominal everywhere.
+type Lengths struct {
+	Delay []float64 // delay-equivalent L per gate; 0 = nominal
+	Leak  []float64 // leakage-equivalent L per gate; 0 = nominal
+}
+
+// lOf returns the per-gate value or the nominal fallback.
+func lOf(v []float64, id int, nom float64) float64 {
+	if id < len(v) && v[id] > 0 {
+		return v[id]
+	}
+	return nom
+}
+
+// Result is one timing analysis.
+type Result struct {
+	Arrival []float64
+	Slack   []float64
+	Delay   []float64 // per-gate delay used
+	WNS     float64   // worst negative slack (or smallest slack)
+	TNS     float64   // total negative slack over endpoints
+	// Critical is the worst path as gate IDs from input to endpoint.
+	Critical []int
+	// LeakTotal is the summed gate leakage, A.
+	LeakTotal float64
+}
+
+// Analyze runs STA with the given clock period (ps). A period of 0
+// uses the longest path (zero worst slack).
+func Analyze(nl *circuit.Netlist, lib Lib, lens Lengths, period float64) Result {
+	n := len(nl.Gates)
+	res := Result{
+		Arrival: make([]float64, n),
+		Slack:   make([]float64, n),
+		Delay:   make([]float64, n),
+	}
+	fanouts := nl.Fanouts()
+
+	for _, g := range nl.Gates {
+		if g.Type == circuit.Input {
+			continue
+		}
+		fo := len(fanouts[g.ID])
+		res.Delay[g.ID] = lib.GateDelay(g.Type, fo, lOf(lens.Delay, g.ID, lib.NMOS.LNom))
+		res.LeakTotal += lib.GateLeak(g.Type, lOf(lens.Leak, g.ID, lib.NMOS.LNom))
+	}
+
+	// Forward: gates are topologically ordered by construction.
+	for _, g := range nl.Gates {
+		var worst float64
+		for _, f := range g.Fanin {
+			if res.Arrival[f] > worst {
+				worst = res.Arrival[f]
+			}
+		}
+		res.Arrival[g.ID] = worst + res.Delay[g.ID]
+	}
+
+	// Endpoints and period.
+	maxArr := 0.0
+	for _, po := range nl.POs {
+		if res.Arrival[po] > maxArr {
+			maxArr = res.Arrival[po]
+		}
+	}
+	if period <= 0 {
+		period = maxArr
+	}
+
+	// Backward: required times.
+	req := make([]float64, n)
+	for i := range req {
+		req[i] = math.Inf(1)
+	}
+	for _, po := range nl.POs {
+		req[po] = period
+	}
+	for i := n - 1; i >= 0; i-- {
+		g := nl.Gates[i]
+		r := req[i]
+		for _, f := range g.Fanin {
+			if v := r - res.Delay[i]; v < req[f] {
+				req[f] = v
+			}
+		}
+	}
+	res.WNS = math.Inf(1)
+	for i := range res.Slack {
+		if math.IsInf(req[i], 1) {
+			// Dangling gate: unconstrained.
+			res.Slack[i] = period - res.Arrival[i]
+			continue
+		}
+		res.Slack[i] = req[i] - res.Arrival[i]
+	}
+	for _, po := range nl.POs {
+		s := res.Slack[po]
+		if s < res.WNS {
+			res.WNS = s
+		}
+		if s < 0 {
+			res.TNS += s
+		}
+	}
+	if math.IsInf(res.WNS, 1) {
+		res.WNS = 0
+	}
+
+	res.Critical = backtrace(nl, res.Arrival, res.Delay, worstEndpoint(nl, res))
+	return res
+}
+
+// worstEndpoint returns the PO with the smallest slack (ties by ID).
+func worstEndpoint(nl *circuit.Netlist, res Result) int {
+	best, bestSlack := -1, math.Inf(1)
+	for _, po := range nl.POs {
+		if res.Slack[po] < bestSlack {
+			best, bestSlack = po, res.Slack[po]
+		}
+	}
+	return best
+}
+
+// backtrace walks the max-arrival fanin chain from an endpoint.
+func backtrace(nl *circuit.Netlist, arr, delay []float64, end int) []int {
+	if end < 0 {
+		return nil
+	}
+	var rev []int
+	cur := end
+	for {
+		rev = append(rev, cur)
+		g := nl.Gates[cur]
+		if len(g.Fanin) == 0 {
+			break
+		}
+		best := g.Fanin[0]
+		for _, f := range g.Fanin[1:] {
+			if arr[f] > arr[best] {
+				best = f
+			}
+		}
+		cur = best
+	}
+	// Reverse to input->endpoint order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathRank lists endpoints by ascending slack — the "speed path"
+// ordering whose churn under litho-aware extraction T5 reports.
+func PathRank(nl *circuit.Netlist, res Result) []int {
+	eps := append([]int{}, nl.POs...)
+	sort.Slice(eps, func(i, j int) bool {
+		si, sj := res.Slack[eps[i]], res.Slack[eps[j]]
+		if si != sj {
+			return si < sj
+		}
+		return eps[i] < eps[j]
+	})
+	return eps
+}
+
+// RankDistance counts pairwise order inversions between two endpoint
+// rankings (0 = identical order), normalized to [0, 1].
+func RankDistance(a, b []int) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	pos := make(map[int]int, len(b))
+	for i, v := range b {
+		pos[v] = i
+	}
+	inv := 0
+	n := len(a)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pos[a[i]] > pos[a[j]] {
+				inv++
+			}
+		}
+	}
+	return float64(inv) / float64(n*(n-1)/2)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("sta(WNS=%.1fps TNS=%.1fps leak=%.2euA path=%d gates)",
+		r.WNS, r.TNS, r.LeakTotal*1e6, len(r.Critical))
+}
+
+// Variation parameterizes Monte Carlo channel-length sampling.
+type Variation struct {
+	SigmaL float64 // random per-gate L sigma, nm
+	// SystematicL optionally overrides the mean L per gate type
+	// (litho-derived); missing types use nominal.
+	SystematicL map[circuit.GateType]float64
+}
+
+// MCStats summarizes a Monte Carlo STA run.
+type MCStats struct {
+	Trials              int
+	WNSMean, WNSSigma   float64
+	WNSMin              float64
+	LeakMean, LeakSigma float64
+	LeakMax             float64
+}
+
+// MonteCarlo samples per-gate channel lengths and re-runs STA,
+// collecting WNS and leakage distributions.
+func MonteCarlo(nl *circuit.Netlist, lib Lib, v Variation, period float64, trials int, seed int64) MCStats {
+	rnd := rand.New(rand.NewSource(seed))
+	var st MCStats
+	st.Trials = trials
+	st.WNSMin = math.Inf(1)
+	var wnsSum, wnsSq, leakSum, leakSq float64
+	n := len(nl.Gates)
+	lens := Lengths{Delay: make([]float64, n), Leak: make([]float64, n)}
+	for t := 0; t < trials; t++ {
+		for _, g := range nl.Gates {
+			if g.Type == circuit.Input {
+				continue
+			}
+			mean := lib.NMOS.LNom
+			if v.SystematicL != nil {
+				if m, ok := v.SystematicL[g.Type]; ok && m > 0 {
+					mean = m
+				}
+			}
+			l := mean + rnd.NormFloat64()*v.SigmaL
+			if l < mean/2 {
+				l = mean / 2
+			}
+			lens.Delay[g.ID] = l
+			lens.Leak[g.ID] = l
+		}
+		res := Analyze(nl, lib, lens, period)
+		wnsSum += res.WNS
+		wnsSq += res.WNS * res.WNS
+		if res.WNS < st.WNSMin {
+			st.WNSMin = res.WNS
+		}
+		leakSum += res.LeakTotal
+		leakSq += res.LeakTotal * res.LeakTotal
+		if res.LeakTotal > st.LeakMax {
+			st.LeakMax = res.LeakTotal
+		}
+	}
+	if trials > 0 {
+		ft := float64(trials)
+		st.WNSMean = wnsSum / ft
+		st.WNSSigma = math.Sqrt(math.Max(0, wnsSq/ft-st.WNSMean*st.WNSMean))
+		st.LeakMean = leakSum / ft
+		st.LeakSigma = math.Sqrt(math.Max(0, leakSq/ft-st.LeakMean*st.LeakMean))
+	}
+	return st
+}

@@ -1,0 +1,229 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestChainTiming(t *testing.T) {
+	nl := circuit.Chain(10)
+	lib := DefaultLib()
+	res := Analyze(nl, lib, Lengths{}, 0)
+	// 10 identical inverters, fanout 1 each: arrival at the PO is
+	// 10 * T0(inv).
+	want := 10 * lib.Cells[circuit.Inv].T0
+	if math.Abs(res.Arrival[10]-want) > 1e-9 {
+		t.Fatalf("chain arrival = %v, want %v", res.Arrival[10], want)
+	}
+	// Period=longest path: zero WNS, critical path covers all gates.
+	if math.Abs(res.WNS) > 1e-9 {
+		t.Fatalf("WNS = %v", res.WNS)
+	}
+	if len(res.Critical) != 11 {
+		t.Fatalf("critical path length = %d", len(res.Critical))
+	}
+	// Slack on the path is ~0 everywhere.
+	for _, id := range res.Critical[1:] {
+		if math.Abs(res.Slack[id]) > 1e-9 {
+			t.Fatalf("on-path slack = %v at %d", res.Slack[id], id)
+		}
+	}
+}
+
+func TestTightPeriodGivesNegativeSlack(t *testing.T) {
+	nl := circuit.Chain(10)
+	lib := DefaultLib()
+	res := Analyze(nl, lib, Lengths{}, 60) // well under 120ps path
+	if res.WNS >= 0 {
+		t.Fatalf("WNS = %v, want negative", res.WNS)
+	}
+	if res.TNS >= 0 {
+		t.Fatalf("TNS = %v", res.TNS)
+	}
+}
+
+func TestLongerChannelSlowsGates(t *testing.T) {
+	lib := DefaultLib()
+	d45 := lib.GateDelay(circuit.Inv, 1, 45)
+	d50 := lib.GateDelay(circuit.Inv, 1, 50)
+	d40 := lib.GateDelay(circuit.Inv, 1, 40)
+	if !(d40 < d45 && d45 < d50) {
+		t.Fatalf("delay vs L wrong: %v %v %v", d40, d45, d50)
+	}
+	// Fanout loads delay.
+	if lib.GateDelay(circuit.Inv, 4, 45) <= d45 {
+		t.Fatal("fanout has no effect")
+	}
+	// Unknown type.
+	if lib.GateDelay(circuit.Input, 1, 45) != 0 {
+		t.Fatal("input should have zero delay")
+	}
+}
+
+func TestPerGateBackAnnotation(t *testing.T) {
+	nl := circuit.Chain(4)
+	lib := DefaultLib()
+	nom := Analyze(nl, lib, Lengths{}, 0)
+	// Slow down gate 2 only.
+	lens := Lengths{Delay: make([]float64, len(nl.Gates))}
+	lens.Delay[2] = 52
+	ann := Analyze(nl, lib, lens, 0)
+	if ann.Arrival[4] <= nom.Arrival[4] {
+		t.Fatalf("annotation had no effect: %v vs %v", ann.Arrival[4], nom.Arrival[4])
+	}
+	// Only gate 2's delay changed.
+	for i, d := range ann.Delay {
+		if i == 2 {
+			if d <= nom.Delay[i] {
+				t.Fatalf("gate 2 not slowed")
+			}
+			continue
+		}
+		if math.Abs(d-nom.Delay[i]) > 1e-12 {
+			t.Fatalf("gate %d delay moved unexpectedly", i)
+		}
+	}
+}
+
+func TestLeakageAccounting(t *testing.T) {
+	nl := circuit.Chain(10)
+	lib := DefaultLib()
+	nom := Analyze(nl, lib, Lengths{}, 0)
+	if nom.LeakTotal <= 0 {
+		t.Fatal("no leakage accumulated")
+	}
+	// Shorter leak-equivalent channels leak more.
+	lens := Lengths{Leak: make([]float64, len(nl.Gates))}
+	for i := range lens.Leak {
+		lens.Leak[i] = 40
+	}
+	hot := Analyze(nl, lib, lens, 0)
+	if hot.LeakTotal <= nom.LeakTotal {
+		t.Fatalf("leak annotation had no effect: %v vs %v", hot.LeakTotal, nom.LeakTotal)
+	}
+}
+
+func TestRandomLogicAnalysis(t *testing.T) {
+	nl := circuit.RandomLogic(10, 12, 14, 3)
+	lib := DefaultLib()
+	res := Analyze(nl, lib, Lengths{}, 0)
+	if len(res.Critical) < 3 {
+		t.Fatalf("critical path too short: %v", res.Critical)
+	}
+	// The path must be connected input->endpoint.
+	for i := 1; i < len(res.Critical); i++ {
+		g := nl.Gates[res.Critical[i]]
+		found := false
+		for _, f := range g.Fanin {
+			if f == res.Critical[i-1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("critical path disconnected at %d", i)
+		}
+	}
+	// Path starts at an input.
+	if nl.Gates[res.Critical[0]].Type != circuit.Input {
+		t.Fatalf("critical path does not start at an input")
+	}
+	// Arrival is monotone along the path.
+	for i := 1; i < len(res.Critical); i++ {
+		if res.Arrival[res.Critical[i]] < res.Arrival[res.Critical[i-1]] {
+			t.Fatalf("arrival not monotone along path")
+		}
+	}
+}
+
+func TestPathRankAndDistance(t *testing.T) {
+	nl := circuit.RandomLogic(10, 10, 12, 5)
+	lib := DefaultLib()
+	nom := Analyze(nl, lib, Lengths{}, 0)
+	rank := PathRank(nl, nom)
+	if len(rank) != len(nl.POs) {
+		t.Fatalf("rank size = %d, want %d", len(rank), len(nl.POs))
+	}
+	// Slack is non-decreasing along the rank.
+	for i := 1; i < len(rank); i++ {
+		if nom.Slack[rank[i]] < nom.Slack[rank[i-1]] {
+			t.Fatalf("rank not sorted by slack")
+		}
+	}
+	// Identical rankings: distance 0.
+	if RankDistance(rank, rank) != 0 {
+		t.Fatal("self distance != 0")
+	}
+	// Fully reversed: distance 1.
+	rev := make([]int, len(rank))
+	for i, v := range rank {
+		rev[len(rank)-1-i] = v
+	}
+	if len(rank) >= 2 && RankDistance(rank, rev) != 1 {
+		t.Fatalf("reverse distance = %v", RankDistance(rank, rev))
+	}
+	if RankDistance([]int{1}, []int{1}) != 0 {
+		t.Fatal("degenerate rank distance wrong")
+	}
+}
+
+func TestSystematicLShiftsTiming(t *testing.T) {
+	nl := circuit.RandomLogic(8, 10, 10, 7)
+	lib := DefaultLib()
+	nom := Analyze(nl, lib, Lengths{}, 0)
+	period := nom.Arrival[worstEndpoint(nl, nom)]
+
+	// Litho-style systematic: all gates print 3nm long.
+	lens := Lengths{Delay: make([]float64, len(nl.Gates))}
+	for i := range lens.Delay {
+		lens.Delay[i] = 48
+	}
+	litho := Analyze(nl, lib, lens, period)
+	if litho.WNS >= 0 {
+		t.Fatalf("systematically slower silicon should fail the drawn-timing period: WNS=%v", litho.WNS)
+	}
+}
+
+func TestMonteCarloSTA(t *testing.T) {
+	nl := circuit.RandomLogic(8, 8, 10, 11)
+	lib := DefaultLib()
+	nom := Analyze(nl, lib, Lengths{}, 0)
+	period := 1.1 * nom.Arrival[worstEndpoint(nl, nom)]
+
+	st := MonteCarlo(nl, lib, Variation{SigmaL: 2}, period, 200, 1)
+	if st.Trials != 200 {
+		t.Fatalf("trials = %d", st.Trials)
+	}
+	if st.WNSSigma <= 0 {
+		t.Fatalf("no WNS spread: %+v", st)
+	}
+	if st.LeakSigma <= 0 || st.LeakMean <= 0 {
+		t.Fatalf("leak stats wrong: %+v", st)
+	}
+	if st.WNSMin > st.WNSMean {
+		t.Fatalf("min > mean")
+	}
+
+	// Larger sigma widens the distribution.
+	wide := MonteCarlo(nl, lib, Variation{SigmaL: 4}, period, 200, 1)
+	if wide.WNSSigma <= st.WNSSigma {
+		t.Fatalf("sigma scaling wrong: %v vs %v", wide.WNSSigma, st.WNSSigma)
+	}
+
+	// Systematic shift moves the mean down (slower).
+	shifted := MonteCarlo(nl, lib, Variation{
+		SigmaL: 2,
+		SystematicL: map[circuit.GateType]float64{
+			circuit.Inv: 48, circuit.Nand2: 48, circuit.Nor2: 48, circuit.Buf: 48,
+		},
+	}, period, 200, 1)
+	if shifted.WNSMean >= st.WNSMean {
+		t.Fatalf("systematic slowdown did not reduce mean WNS: %v vs %v", shifted.WNSMean, st.WNSMean)
+	}
+	// Determinism.
+	again := MonteCarlo(nl, lib, Variation{SigmaL: 2}, period, 200, 1)
+	if again.WNSMean != st.WNSMean {
+		t.Fatal("MC not deterministic for fixed seed")
+	}
+}

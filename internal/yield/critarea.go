@@ -1,0 +1,112 @@
+package yield
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Critical area: the region where the center of a defect of a given
+// size causes a fault. Shorts: a bridging particle must overlap two
+// different nets — its center must lie within x/2 of both, so the
+// critical region is the intersection of the two nets' x/2 dilations.
+// Opens: a particle must sever a wire — approximated per wire
+// rectangle by the classic L*(x-w) band formula.
+
+// ShortCriticalArea returns the total area (nm^2) where a square
+// defect of edge x centered there bridges two different nets of the
+// layer geometry. NoNet shapes (fill) are ignored.
+func ShortCriticalArea(nets map[layout.NetID][]geom.Rect, x int64) int64 {
+	ids := layout.SortedNets(nets)
+	// Dilate each net's geometry once.
+	dil := make(map[layout.NetID][]geom.Rect, len(ids))
+	for _, id := range ids {
+		if id == layout.NoNet {
+			continue
+		}
+		dil[id] = geom.Dilate(nets[id], x/2)
+	}
+	// Index nets by their dilated bboxes for pair pruning.
+	var regions []geom.Rect
+	for i := 0; i < len(ids); i++ {
+		if ids[i] == layout.NoNet {
+			continue
+		}
+		a := dil[ids[i]]
+		abb := geom.BBoxOf(a)
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] == layout.NoNet {
+				continue
+			}
+			b := dil[ids[j]]
+			if !abb.Overlaps(geom.BBoxOf(b)) {
+				continue
+			}
+			regions = append(regions, geom.Intersect(a, b)...)
+		}
+	}
+	return geom.AreaOf(regions)
+}
+
+// OpenCriticalArea returns the total area (nm^2) where a square defect
+// of edge x severs a wire, using the per-rectangle band approximation:
+// a defect wider than the wire's narrow dimension w contributes a band
+// of length L and height (x - w) centered on the wire.
+func OpenCriticalArea(wires []geom.Rect, x int64) int64 {
+	var total int64
+	for _, r := range geom.Normalize(wires) {
+		w := r.MinDim()
+		if x <= w {
+			continue
+		}
+		l := r.Width()
+		if r.Height() > r.Width() {
+			l = r.Height()
+		}
+		total += l * (x - w)
+	}
+	return total
+}
+
+// AvgCriticalArea integrates a per-size critical-area function over the
+// defect size distribution with log-spaced quadrature: the "average
+// critical area" A_c that yield models consume.
+func AvgCriticalArea(d SizeDist, ca func(x int64) int64, steps int) float64 {
+	if steps < 2 {
+		steps = 16
+	}
+	lo, hi := math.Log(d.X0), math.Log(d.XMax)
+	var acc float64
+	prevX := d.X0
+	prevV := float64(ca(int64(d.X0))) * d.PDF(d.X0)
+	for i := 1; i <= steps; i++ {
+		x := math.Exp(lo + (hi-lo)*float64(i)/float64(steps))
+		v := float64(ca(int64(x))) * d.PDF(x)
+		acc += (v + prevV) / 2 * (x - prevX)
+		prevX, prevV = x, v
+	}
+	return acc
+}
+
+// CriticalAreaCurve samples the critical-area function at log-spaced
+// defect sizes, for the F2 plot.
+type CAPoint struct {
+	X  float64 // defect size, nm
+	CA int64   // critical area, nm^2
+}
+
+// Curve evaluates ca at n log-spaced sizes across the distribution's
+// support.
+func Curve(d SizeDist, ca func(x int64) int64, n int) []CAPoint {
+	if n < 2 {
+		n = 8
+	}
+	lo, hi := math.Log(d.X0), math.Log(d.XMax)
+	out := make([]CAPoint, 0, n)
+	for i := 0; i < n; i++ {
+		x := math.Exp(lo + (hi-lo)*float64(i)/float64(n-1))
+		out = append(out, CAPoint{X: x, CA: ca(int64(x))})
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package yield
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// Yield models and the layer-level analysis entry points.
+
+// nm2PerCm2 converts nm^2 to cm^2.
+const nm2PerCm2 = 1e14
+
+// Poisson returns the Poisson yield for average critical area acNm2
+// (nm^2) at defect density d0 (defects per cm^2).
+func Poisson(acNm2 float64, d0 float64) float64 {
+	return math.Exp(-d0 * acNm2 / nm2PerCm2)
+}
+
+// NegBinomial returns the negative-binomial (clustered) yield with
+// clustering parameter alpha.
+func NegBinomial(acNm2 float64, d0, alpha float64) float64 {
+	if alpha <= 0 {
+		return Poisson(acNm2, d0)
+	}
+	return math.Pow(1+d0*acNm2/nm2PerCm2/alpha, -alpha)
+}
+
+// ViaYield returns the yield of n single (non-redundant) vias each
+// failing independently with probability pFail, and nPaired via pairs
+// where both cuts must fail (probability pFail^2).
+func ViaYield(nSingle, nPaired int, pFail float64) float64 {
+	y := math.Pow(1-pFail, float64(nSingle))
+	y *= math.Pow(1-pFail*pFail, float64(nPaired))
+	return y
+}
+
+// LayerReport is the yield analysis of one layer.
+type LayerReport struct {
+	Layer     tech.Layer
+	ShortAC   float64 // average short critical area, nm^2
+	OpenAC    float64 // average open critical area, nm^2
+	YShort    float64
+	YOpen     float64
+	YCombined float64
+}
+
+// AnalyzeLayer computes short/open average critical areas and yields
+// for one routing layer of a flat netlist-annotated layout.
+func AnalyzeLayer(flat []layout.Shape, layer tech.Layer, def tech.Defects) LayerReport {
+	d := SizeDist{X0: def.X0, XMax: def.XMax}
+	nets := layout.NetsOn(flat, layer)
+	var wires []geom.Rect
+	for _, s := range flat {
+		if s.Layer == layer {
+			wires = append(wires, s.R)
+		}
+	}
+	rep := LayerReport{Layer: layer}
+	rep.ShortAC = AvgCriticalArea(d, func(x int64) int64 {
+		return ShortCriticalArea(nets, x)
+	}, 12)
+	rep.OpenAC = AvgCriticalArea(d, func(x int64) int64 {
+		return OpenCriticalArea(wires, x)
+	}, 12)
+	rep.YShort = NegBinomial(rep.ShortAC, def.D0, def.Alpha)
+	rep.YOpen = NegBinomial(rep.OpenAC, def.D0, def.Alpha)
+	rep.YCombined = rep.YShort * rep.YOpen
+	return rep
+}
+
+// ChipReport aggregates per-layer yields plus via yield.
+type ChipReport struct {
+	Layers []LayerReport
+	NVias  int
+	NPairs int
+	YVia   float64
+	YTotal float64
+}
+
+// AnalyzeChip runs layer analysis over the routing layers and combines
+// with the via-failure model. Redundant via pairs are detected as cuts
+// of the same net on the same via layer within pairDist of each other.
+func AnalyzeChip(flat []layout.Shape, t *tech.Tech) ChipReport {
+	rep := ChipReport{YTotal: 1}
+	for _, l := range []tech.Layer{tech.Metal1, tech.Metal2, tech.Metal3} {
+		lr := AnalyzeLayer(flat, l, t.Defects)
+		rep.Layers = append(rep.Layers, lr)
+		rep.YTotal *= lr.YCombined
+	}
+	single, paired := CountViaRedundancy(flat, t)
+	rep.NVias = single + 2*paired
+	rep.NPairs = paired
+	rep.YVia = ViaYield(single, paired, t.Defects.ViaFailProb)
+	rep.YTotal *= rep.YVia
+	return rep
+}
+
+// CountViaRedundancy counts single vias and redundant pairs across the
+// via layers: two same-net cuts on the same layer within two cut
+// pitches are a redundant pair.
+func CountViaRedundancy(flat []layout.Shape, t *tech.Tech) (single, paired int) {
+	for _, vl := range []tech.Layer{tech.Via1, tech.Via2} {
+		pairDist := 3 * t.Rules[vl].ViaSize
+		nets := layout.NetsOn(flat, vl)
+		for _, id := range layout.SortedNets(nets) {
+			cuts := nets[id]
+			used := make([]bool, len(cuts))
+			if id == layout.NoNet {
+				single += len(cuts)
+				continue
+			}
+			for i := range cuts {
+				if used[i] {
+					continue
+				}
+				found := false
+				for j := i + 1; j < len(cuts); j++ {
+					if used[j] {
+						continue
+					}
+					if cuts[i].Distance(cuts[j]) <= pairDist {
+						used[i], used[j] = true, true
+						paired++
+						found = true
+						break
+					}
+				}
+				if !found {
+					used[i] = true
+					single++
+				}
+			}
+		}
+	}
+	return single, paired
+}

@@ -1,0 +1,61 @@
+package yield
+
+import "math"
+
+// Systematic (design-induced) yield: the DFM half of the yield
+// equation. Random-defect yield falls with critical area; systematic
+// yield falls with the number and severity of litho-marginal sites
+// (hotspots). Total yield is their product — and the panel's "hit"
+// claims are mostly about moving the systematic term.
+
+// SystematicSite is one design weak point with a per-die failure
+// probability (calibrated from failure analysis; here derived from the
+// hotspot severity).
+type SystematicSite struct {
+	PFail float64
+}
+
+// SystematicYield returns the probability that no site fails:
+// prod(1 - p_i), computed in log space for stability.
+func SystematicYield(sites []SystematicSite) float64 {
+	var logY float64
+	for _, s := range sites {
+		p := s.PFail
+		if p >= 1 {
+			return 0
+		}
+		if p > 0 {
+			logY += math.Log1p(-p)
+		}
+	}
+	return math.Exp(logY)
+}
+
+// SeverityToPFail converts a hotspot's dimensional deficit into a
+// per-die failure probability: pMax at deficit >= 1 (feature fully
+// gone), scaled quadratically below (marginal sites mostly survive).
+// deficit = 1 - printedDim/requiredDim, clamped to [0, 1].
+func SeverityToPFail(deficit, pMax float64) float64 {
+	if deficit <= 0 {
+		return 0
+	}
+	if deficit >= 1 {
+		return pMax
+	}
+	return pMax * deficit * deficit
+}
+
+// TotalYield combines random-defect and systematic yield.
+func TotalYield(random float64, sites []SystematicSite) float64 {
+	return random * SystematicYield(sites)
+}
+
+// UniformSites builds n identical sites (the common first-order model
+// when per-site severities are not yet characterized).
+func UniformSites(n int, pFail float64) []SystematicSite {
+	out := make([]SystematicSite, n)
+	for i := range out {
+		out[i].PFail = pFail
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package yield
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSystematicYield(t *testing.T) {
+	if got := SystematicYield(nil); got != 1 {
+		t.Fatalf("no sites should yield 1, got %v", got)
+	}
+	// 100 sites at 1e-3: ~ exp(-0.1).
+	y := SystematicYield(UniformSites(100, 1e-3))
+	if math.Abs(y-math.Exp(-0.1002)) > 0.002 {
+		t.Fatalf("yield = %v", y)
+	}
+	// A certain failure kills the die.
+	if got := SystematicYield([]SystematicSite{{PFail: 1}}); got != 0 {
+		t.Fatalf("certain failure should yield 0, got %v", got)
+	}
+	// More sites, lower yield.
+	if SystematicYield(UniformSites(200, 1e-3)) >= y {
+		t.Fatalf("yield not decreasing with site count")
+	}
+}
+
+func TestSeverityToPFail(t *testing.T) {
+	if SeverityToPFail(0, 0.1) != 0 || SeverityToPFail(-1, 0.1) != 0 {
+		t.Fatal("non-deficit should not fail")
+	}
+	if SeverityToPFail(1, 0.1) != 0.1 || SeverityToPFail(2, 0.1) != 0.1 {
+		t.Fatal("full deficit should saturate at pMax")
+	}
+	// Quadratic in between.
+	if got := SeverityToPFail(0.5, 0.1); math.Abs(got-0.025) > 1e-12 {
+		t.Fatalf("half deficit = %v, want 0.025", got)
+	}
+	if !(SeverityToPFail(0.3, 0.1) < SeverityToPFail(0.6, 0.1)) {
+		t.Fatal("not monotone")
+	}
+}
+
+func TestTotalYield(t *testing.T) {
+	sites := UniformSites(50, 1e-3)
+	total := TotalYield(0.95, sites)
+	if math.Abs(total-0.95*SystematicYield(sites)) > 1e-12 {
+		t.Fatalf("total = %v", total)
+	}
+	if total >= 0.95 {
+		t.Fatal("systematic term should reduce total yield")
+	}
+}

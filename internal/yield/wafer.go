@@ -1,0 +1,67 @@
+package yield
+
+import "math"
+
+// Wafer-level economics: die-per-wafer and good-die arithmetic that
+// turns the per-die yield numbers into the cost argument the panel
+// actually fought about.
+
+// Wafer describes the substrate and die.
+type Wafer struct {
+	DiameterMM float64 // wafer diameter (300 for the era)
+	EdgeMM     float64 // edge exclusion
+	DieWMM     float64 // die width
+	DieHMM     float64 // die height
+}
+
+// DiePerWafer returns the gross die count via the standard
+// area-minus-circumference approximation:
+// N = pi*r^2/A - pi*d/sqrt(2A), with r the usable radius and A the die
+// area.
+func (w Wafer) DiePerWafer() int {
+	r := w.DiameterMM/2 - w.EdgeMM
+	if r <= 0 || w.DieWMM <= 0 || w.DieHMM <= 0 {
+		return 0
+	}
+	a := w.DieWMM * w.DieHMM
+	n := math.Pi*r*r/a - math.Pi*2*r/math.Sqrt(2*a)
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// GoodDie returns the expected good die per wafer at the given die
+// yield.
+func (w Wafer) GoodDie(yield float64) float64 {
+	return float64(w.DiePerWafer()) * yield
+}
+
+// CostPerGoodDie converts a wafer cost into cost per good die; returns
+// +Inf when nothing yields.
+func (w Wafer) CostPerGoodDie(waferCost, yield float64) float64 {
+	g := w.GoodDie(yield)
+	if g <= 0 {
+		return math.Inf(1)
+	}
+	return waferCost / g
+}
+
+// YieldDelta quantifies the wafer-economics value of a yield change:
+// extra good die per wafer and the relative cost-per-die change.
+func (w Wafer) YieldDelta(waferCost, yBefore, yAfter float64) (extraDie float64, costChange float64) {
+	extraDie = w.GoodDie(yAfter) - w.GoodDie(yBefore)
+	cb := w.CostPerGoodDie(waferCost, yBefore)
+	ca := w.CostPerGoodDie(waferCost, yAfter)
+	if math.IsInf(cb, 1) {
+		return extraDie, math.Inf(-1)
+	}
+	costChange = (ca - cb) / cb
+	return extraDie, costChange
+}
+
+// Wafer300 returns the era-standard 300mm wafer with a 3mm edge
+// exclusion and the given die size in mm.
+func Wafer300(dieW, dieH float64) Wafer {
+	return Wafer{DiameterMM: 300, EdgeMM: 3, DieWMM: dieW, DieHMM: dieH}
+}

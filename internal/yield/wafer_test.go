@@ -1,0 +1,57 @@
+package yield
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiePerWafer(t *testing.T) {
+	w := Wafer300(10, 10)
+	n := w.DiePerWafer()
+	// 300mm wafer, 100mm^2 die: roughly 600-660 gross die.
+	if n < 550 || n > 700 {
+		t.Fatalf("die per wafer = %d, implausible", n)
+	}
+	// Bigger die, fewer of them.
+	big := Wafer300(20, 20)
+	if big.DiePerWafer() >= n {
+		t.Fatalf("bigger die should yield fewer")
+	}
+	// Degenerate inputs.
+	if (Wafer{}).DiePerWafer() != 0 {
+		t.Fatalf("zero wafer should have zero die")
+	}
+	if (Wafer{DiameterMM: 300, EdgeMM: 200, DieWMM: 10, DieHMM: 10}).DiePerWafer() != 0 {
+		t.Fatalf("edge exclusion beyond radius should give zero")
+	}
+}
+
+func TestGoodDieAndCost(t *testing.T) {
+	w := Wafer300(10, 10)
+	if g := w.GoodDie(0.9); g <= 0 || g >= float64(w.DiePerWafer()) {
+		t.Fatalf("good die = %v", g)
+	}
+	c1 := w.CostPerGoodDie(5000, 0.9)
+	c2 := w.CostPerGoodDie(5000, 0.5)
+	if !(c2 > c1 && c1 > 0) {
+		t.Fatalf("cost per die polarity wrong: %v vs %v", c1, c2)
+	}
+	if !math.IsInf(w.CostPerGoodDie(5000, 0), 1) {
+		t.Fatalf("zero yield should cost infinity")
+	}
+}
+
+func TestYieldDelta(t *testing.T) {
+	w := Wafer300(10, 10)
+	extra, costChange := w.YieldDelta(5000, 0.85, 0.90)
+	if extra <= 0 {
+		t.Fatalf("yield gain should add die: %v", extra)
+	}
+	if costChange >= 0 {
+		t.Fatalf("yield gain should cut cost per die: %v", costChange)
+	}
+	// ~5.5% cost reduction for 0.85 -> 0.90.
+	if costChange < -0.07 || costChange > -0.04 {
+		t.Fatalf("cost change = %v, expected about -5.5%%", costChange)
+	}
+}

@@ -1,0 +1,266 @@
+package yield
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+func TestSizeDistNormalization(t *testing.T) {
+	d := SizeDist{X0: 30, XMax: 2000}
+	// CDF boundaries.
+	if got := d.CDF(30); got != 0 {
+		t.Fatalf("CDF(X0) = %v", got)
+	}
+	if got := d.CDF(2000); got != 1 {
+		t.Fatalf("CDF(XMax) = %v", got)
+	}
+	// PDF integrates to ~1 (trapezoid over log grid).
+	var acc float64
+	prevX, prevV := 30.0, d.PDF(30)
+	for i := 1; i <= 2000; i++ {
+		x := 30 * math.Exp(float64(i)/2000*math.Log(2000.0/30))
+		v := d.PDF(x)
+		acc += (v + prevV) / 2 * (x - prevX)
+		prevX, prevV = x, v
+	}
+	if math.Abs(acc-1) > 0.01 {
+		t.Fatalf("PDF integral = %v", acc)
+	}
+	// PDF is heavily weighted to small sizes.
+	if d.PDF(30) < 100*d.PDF(300) {
+		t.Fatalf("PDF not steep: f(30)=%v f(300)=%v", d.PDF(30), d.PDF(300))
+	}
+}
+
+func TestSizeDistSampleMatchesCDF(t *testing.T) {
+	d := SizeDist{X0: 30, XMax: 2000}
+	rnd := rand.New(rand.NewSource(1))
+	n := 20000
+	var below60 int
+	for i := 0; i < n; i++ {
+		x := d.Sample(rnd)
+		if x < 30 || x > 2000 {
+			t.Fatalf("sample %v out of support", x)
+		}
+		if x <= 60 {
+			below60++
+		}
+	}
+	want := d.CDF(60)
+	got := float64(below60) / float64(n)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("empirical CDF(60) = %v, want %v", got, want)
+	}
+}
+
+func TestQuickCDFMonotone(t *testing.T) {
+	d := SizeDist{X0: 30, XMax: 2000}
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		a := 30 + rnd.Float64()*1970
+		b := 30 + rnd.Float64()*1970
+		if a > b {
+			a, b = b, a
+		}
+		return d.CDF(a) <= d.CDF(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShortCriticalAreaTwoWires(t *testing.T) {
+	// Two parallel wires, gap 100, length 1000.
+	nets := map[layout.NetID][]geom.Rect{
+		1: {geom.R(0, 0, 70, 1000)},
+		2: {geom.R(170, 0, 240, 1000)},
+	}
+	// Defect smaller than the gap: zero critical area.
+	if got := ShortCriticalArea(nets, 90); got != 0 {
+		t.Fatalf("CA(90) = %d, want 0", got)
+	}
+	// Defect 200: dilations by 100 overlap by 100 (gap 100):
+	// intersection width = 200/2*2 - 100 = 100, length 1000+2*100.
+	got := ShortCriticalArea(nets, 200)
+	want := int64(100 * 1200)
+	if got != want {
+		t.Fatalf("CA(200) = %d, want %d", got, want)
+	}
+	// Monotone in defect size.
+	if ShortCriticalArea(nets, 400) <= got {
+		t.Fatalf("CA not monotone")
+	}
+	// Same-net shapes produce no short CA.
+	same := map[layout.NetID][]geom.Rect{1: {geom.R(0, 0, 70, 1000), geom.R(170, 0, 240, 1000)}}
+	if got := ShortCriticalArea(same, 400); got != 0 {
+		t.Fatalf("same-net CA = %d", got)
+	}
+	// NoNet ignored.
+	withFill := map[layout.NetID][]geom.Rect{
+		1:            {geom.R(0, 0, 70, 1000)},
+		layout.NoNet: {geom.R(170, 0, 240, 1000)},
+	}
+	if got := ShortCriticalArea(withFill, 400); got != 0 {
+		t.Fatalf("fill counted in short CA: %d", got)
+	}
+}
+
+func TestOpenCriticalArea(t *testing.T) {
+	wires := []geom.Rect{geom.R(0, 0, 70, 1000)}
+	if got := OpenCriticalArea(wires, 50); got != 0 {
+		t.Fatalf("CA(50) = %d, want 0 (defect smaller than width)", got)
+	}
+	// x=170: band (170-70)*1000.
+	if got := OpenCriticalArea(wires, 170); got != 100*1000 {
+		t.Fatalf("CA(170) = %d", got)
+	}
+}
+
+func TestAvgCriticalAreaAgainstClosedForm(t *testing.T) {
+	// For a constant critical-area function, the average equals it.
+	d := SizeDist{X0: 30, XMax: 2000}
+	got := AvgCriticalArea(d, func(x int64) int64 { return 5000 }, 64)
+	if math.Abs(got-5000) > 100 {
+		t.Fatalf("constant CA average = %v, want ~5000", got)
+	}
+	// Zero function.
+	if got := AvgCriticalArea(d, func(x int64) int64 { return 0 }, 16); got != 0 {
+		t.Fatalf("zero CA average = %v", got)
+	}
+}
+
+func TestYieldModels(t *testing.T) {
+	// Zero critical area: yield 1.
+	if Poisson(0, 0.25) != 1 || NegBinomial(0, 0.25, 2) != 1 {
+		t.Fatalf("zero CA should give yield 1")
+	}
+	// Yield falls with CA.
+	y1 := Poisson(1e12, 0.25) // 0.01 cm^2 * 0.25/cm^2
+	y2 := Poisson(2e12, 0.25)
+	if !(y2 < y1 && y1 < 1) {
+		t.Fatalf("Poisson not decreasing: %v %v", y1, y2)
+	}
+	// Clustering (NB) always yields >= Poisson for the same CA.
+	if nb := NegBinomial(1e13, 0.25, 2); nb < Poisson(1e13, 0.25) {
+		t.Fatalf("NB %v < Poisson %v", nb, Poisson(1e13, 0.25))
+	}
+	// Alpha -> 0 degenerates to Poisson by contract.
+	if NegBinomial(1e13, 0.25, 0) != Poisson(1e13, 0.25) {
+		t.Fatalf("alpha=0 should fall back to Poisson")
+	}
+}
+
+func TestViaYield(t *testing.T) {
+	p := 1e-4
+	single := ViaYield(1000, 0, p)
+	paired := ViaYield(0, 1000, p)
+	if !(paired > single) {
+		t.Fatalf("redundancy did not improve via yield: %v vs %v", paired, single)
+	}
+	// 1000 singles at 1e-4: ~0.905.
+	if math.Abs(single-math.Exp(-0.1)) > 0.01 {
+		t.Fatalf("single via yield = %v", single)
+	}
+	// Pairs: ~1 - 1000*1e-8.
+	if paired < 0.9999 {
+		t.Fatalf("paired via yield = %v", paired)
+	}
+}
+
+func TestCountViaRedundancy(t *testing.T) {
+	tt := tech.N45()
+	vs := tt.Rules[tech.Via1].ViaSize
+	flat := []layout.Shape{
+		// Net 1: two adjacent cuts (a redundant pair).
+		{Layer: tech.Via1, R: geom.R(0, 0, vs, vs), Net: 1},
+		{Layer: tech.Via1, R: geom.R(2*vs, 0, 3*vs, vs), Net: 1},
+		// Net 2: one isolated cut.
+		{Layer: tech.Via1, R: geom.R(5000, 0, 5000+vs, vs), Net: 2},
+		// Net 1 again but far away: single.
+		{Layer: tech.Via1, R: geom.R(9000, 0, 9000+vs, vs), Net: 1},
+	}
+	single, paired := CountViaRedundancy(flat, tt)
+	if single != 2 || paired != 1 {
+		t.Fatalf("single=%d paired=%d, want 2/1", single, paired)
+	}
+}
+
+func TestAnalyzeLayerAndChip(t *testing.T) {
+	tt := tech.N45()
+	l, err := layout.GenerateBlock(tt, layout.BlockOpts{Rows: 3, RowWidth: 10000, Nets: 15, MaxFan: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := l.Flatten()
+	rep := AnalyzeLayer(flat, tech.Metal2, tt.Defects)
+	if rep.ShortAC <= 0 || rep.OpenAC <= 0 {
+		t.Fatalf("zero critical area on a routed layer: %+v", rep)
+	}
+	if rep.YCombined <= 0 || rep.YCombined > 1 {
+		t.Fatalf("yield out of range: %v", rep.YCombined)
+	}
+	chip := AnalyzeChip(flat, tt)
+	if len(chip.Layers) != 3 {
+		t.Fatalf("layer count = %d", len(chip.Layers))
+	}
+	if chip.NVias == 0 {
+		t.Fatalf("no vias counted")
+	}
+	if chip.YTotal <= 0 || chip.YTotal > 1 {
+		t.Fatalf("total yield = %v", chip.YTotal)
+	}
+}
+
+func TestMonteCarloAgreesWithGeometry(t *testing.T) {
+	// Construct a simple two-net structure and compare the MC short
+	// fraction against the analytic short critical area.
+	var flat []layout.Shape
+	for i := int64(0); i < 10; i++ {
+		net := layout.NetID(i%2 + 1)
+		flat = append(flat, layout.Shape{Layer: tech.Metal1, R: geom.R(i*200, 0, i*200+70, 5000), Net: net})
+	}
+	def := tech.Defects{D0: 0.25, X0: 100, XMax: 600, Alpha: 2}
+	rnd := rand.New(rand.NewSource(7))
+	res := MonteCarlo(flat, tech.Metal1, def, 40000, rnd)
+	if res.Shorts == 0 {
+		t.Fatalf("MC found no shorts on dense alternating nets")
+	}
+	// Analytic average CA over the same distribution.
+	nets := layout.NetsOn(flat, tech.Metal1)
+	d := SizeDist{X0: def.X0, XMax: def.XMax}
+	ana := AvgCriticalArea(d, func(x int64) int64 { return ShortCriticalArea(nets, x) }, 24)
+	// MC estimate: ShortFrac is (hits/trials)*thrown area.
+	ratio := res.ShortFrac / ana
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("MC/analytic short CA ratio = %v (mc=%v ana=%v)", ratio, res.ShortFrac, ana)
+	}
+}
+
+func TestMonteCarloEmpty(t *testing.T) {
+	res := MonteCarlo(nil, tech.Metal1, tech.N45().Defects, 100, rand.New(rand.NewSource(1)))
+	if res.Shorts != 0 || res.Opens != 0 || res.Trials != 0 {
+		t.Fatalf("empty layout MC = %+v", res)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	d := SizeDist{X0: 30, XMax: 2000}
+	pts := Curve(d, func(x int64) int64 { return x * x }, 10)
+	if len(pts) != 10 {
+		t.Fatalf("curve length = %d", len(pts))
+	}
+	if math.Abs(pts[0].X-30) > 0.01 || math.Abs(pts[9].X-2000) > 1 {
+		t.Fatalf("curve endpoints wrong: %v %v", pts[0].X, pts[9].X)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CA <= pts[i-1].CA {
+			t.Fatalf("monotone function should give monotone curve")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+# Build / verify targets. tier1 is the full gate: compile, vet, and
+# the complete test suite under the race detector (the harness runs
+# technique evaluators concurrently, so race-cleanliness is part of
+# correctness). Expect several minutes: the litho/OPC experiment
+# tests are heavy under -race. Use `make check` for the quick
+# pre-commit loop and `make race-fast` for a race pass that skips
+# the slow full-scorecard experiments.
+
+GO ?= go
+
+.PHONY: tier1 check build vet test race-fast bench
+
+tier1: ## build + vet + full tests under the race detector
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+check: ## quick gate: build + vet + full tests (no race detector)
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race-fast: ## race pass skipping the slow full-scorecard experiments
+	$(GO) test -race -short ./...
+
+bench: ## regenerate every experiment
+	$(GO) test -bench=. -benchmem

@@ -10,6 +10,7 @@ package repro
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -73,7 +74,7 @@ func BenchmarkT1RedundantVia(b *testing.B) {
 func BenchmarkT2DRCPlusCapture(b *testing.B) {
 	t := tech.N45()
 	for i := 0; i < b.N; i++ {
-		o := dfm.EvalDRCPlus(t, 11, 12)
+		o := dfm.EvalDRCPlus(context.Background(), t, 11, 12)
 		if o.Err != nil {
 			b.Fatal(o.Err)
 		}
@@ -90,7 +91,7 @@ func BenchmarkT2DRCPlusCapture(b *testing.B) {
 func BenchmarkT3OPCAccuracy(b *testing.B) {
 	t := tech.N45()
 	for i := 0; i < b.N; i++ {
-		o := dfm.EvalOPCAccuracy(t)
+		o := dfm.EvalOPCAccuracy(context.Background(), t)
 		if o.Err != nil {
 			b.Fatal(o.Err)
 		}
@@ -184,7 +185,7 @@ func BenchmarkF2CriticalArea(b *testing.B) {
 func BenchmarkT4FillDensity(b *testing.B) {
 	t := tech.N45()
 	for i := 0; i < b.N; i++ {
-		o := dfm.EvalDummyFill(t, layout.BlockOpts{Rows: 3, RowWidth: 10000, Nets: 15, MaxFan: 3, Seed: 11})
+		o := dfm.EvalDummyFill(context.Background(), t, layout.BlockOpts{Rows: 3, RowWidth: 10000, Nets: 15, MaxFan: 3, Seed: 11})
 		if o.Err != nil {
 			b.Fatal(o.Err)
 		}
@@ -201,7 +202,7 @@ func BenchmarkT4FillDensity(b *testing.B) {
 func BenchmarkT5LithoTiming(b *testing.B) {
 	t := tech.N45()
 	for i := 0; i < b.N; i++ {
-		o := dfm.EvalLithoTiming(t, 9)
+		o := dfm.EvalLithoTiming(context.Background(), t, 9)
 		if o.Err != nil {
 			b.Fatal(o.Err)
 		}
@@ -267,7 +268,7 @@ func BenchmarkF3PatternCoverage(b *testing.B) {
 func BenchmarkT6RestrictedRules(b *testing.B) {
 	t := tech.N45()
 	for i := 0; i < b.N; i++ {
-		o := dfm.EvalRestrictedRules(t)
+		o := dfm.EvalRestrictedRules(context.Background(), t)
 		if o.Err != nil {
 			b.Fatal(o.Err)
 		}
@@ -288,7 +289,10 @@ func BenchmarkF4MonteCarloSTA(b *testing.B) {
 	lib := sta.DefaultLib()
 	nom := sta.Analyze(nl, lib, sta.Lengths{}, 0)
 	period := 1.05 * nom.Arrival[nom.Critical[len(nom.Critical)-1]]
-	gl := dfm.ExtractGateLengths(t, litho.Nominal, true)
+	gl, err := dfm.ExtractGateLengths(context.Background(), t, litho.Nominal, true)
+		if err != nil {
+			b.Fatal(err)
+		}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		base := sta.MonteCarlo(nl, lib, sta.Variation{SigmaL: 1.5}, period, 200, 1)
@@ -306,7 +310,7 @@ func BenchmarkF4MonteCarloSTA(b *testing.B) {
 func BenchmarkT7Scorecard(b *testing.B) {
 	t := tech.N45()
 	for i := 0; i < b.N; i++ {
-		sc := dfm.RunAll(t, 11)
+		sc := dfm.RunAll(context.Background(), t, 11)
 		report("T7", func() {
 			fmt.Print(sc.Table())
 		})

@@ -3,15 +3,29 @@
 // debated, applied to synthetic workloads, measured, and judged
 // hit/marginal/hype.
 //
+// The run goes through the fault-tolerant evaluation harness: the
+// techniques execute in a bounded worker pool, each under its own
+// wall-clock budget, with panic recovery and seed-perturbing retries
+// for transient workload failures. A failing technique degrades to a
+// structured per-technique error; the rest of the scorecard still
+// reports.
+//
 // Usage:
 //
-//	dfmscore [-seed N] [-detail]
+//	dfmscore [-seed N] [-detail] [-json] [-parallel N] [-timeout D] [-retries N]
+//
+// Exit status is 1 when any technique reports an error, in both
+// table and JSON modes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"time"
 
 	"repro/internal/dfm"
 	"repro/internal/tech"
@@ -21,7 +35,15 @@ func main() {
 	seed := flag.Int64("seed", 11, "workload generation seed")
 	detail := flag.Bool("detail", false, "print every metric, not just the primary")
 	asJSON := flag.Bool("json", false, "emit the scorecard as JSON")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent technique evaluations (1 = sequential)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-technique wall-clock budget (0 = none)")
+	retries := flag.Int("retries", 1, "extra attempts for retryable workload failures")
 	flag.Parse()
+
+	// Ctrl-C cancels the run; in-flight techniques stop at their next
+	// cancellation checkpoint and report as canceled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	t := tech.N45()
 	if !*asJSON {
@@ -29,7 +51,13 @@ func main() {
 			t.Name, t.HalfPitch(), t.K1(), *seed)
 	}
 
-	sc := dfm.RunAll(t, *seed)
+	sc := dfm.RunAllConfig(ctx, t, *seed, dfm.Config{
+		Parallel: *parallel,
+		Timeout:  *timeout,
+		Retries:  *retries,
+		Backoff:  250 * time.Millisecond,
+	})
+
 	if *asJSON {
 		b, err := sc.JSON()
 		if err != nil {
@@ -37,14 +65,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(string(b))
-		return
+	} else {
+		fmt.Println(sc.Table())
+		if *detail {
+			fmt.Println(sc.Detail())
+		}
+		hit, marg, hype := sc.Hits()
+		fmt.Printf("verdicts: %d hit, %d marginal, %d hype\n", hit, marg, hype)
 	}
-	fmt.Println(sc.Table())
-	if *detail {
-		fmt.Println(sc.Detail())
-	}
-	hit, marg, hype := sc.Hits()
-	fmt.Printf("verdicts: %d hit, %d marginal, %d hype\n", hit, marg, hype)
+
+	// One exit policy for every output mode: any technique error
+	// fails the run.
 	for _, o := range sc.Outcomes {
 		if o.Err != nil {
 			os.Exit(1)

@@ -7,7 +7,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"repro/internal/circuit"
 	"repro/internal/dfm"
@@ -29,7 +31,10 @@ func main() {
 
 	// Post-OPC extraction at nominal and defocused conditions.
 	for _, cond := range []litho.Condition{litho.Nominal, {Defocus: 80, Dose: 1}} {
-		gl := dfm.ExtractGateLengths(t, cond, true)
+		gl, err := dfm.ExtractGateLengths(context.Background(), t, cond, true)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("\ncondition defocus=%.0fnm dose=%.2f:\n", cond.Defocus, cond.Dose)
 		for _, gt := range []circuit.GateType{circuit.Inv, circuit.Nand2, circuit.Nor2, circuit.Buf} {
 			fmt.Printf("  %-6s L_delay=%.2fnm  L_leak=%.2fnm\n", gt, gl.Delay[gt], gl.Leak[gt])
@@ -44,7 +49,10 @@ func main() {
 	}
 
 	// Monte Carlo with litho-derived systematic means.
-	gl := dfm.ExtractGateLengths(t, litho.Nominal, true)
+	gl, err := dfm.ExtractGateLengths(context.Background(), t, litho.Nominal, true)
+	if err != nil {
+		log.Fatal(err)
+	}
 	st := sta.MonteCarlo(nl, lib, sta.Variation{SigmaL: 1.5, SystematicL: gl.Delay}, 1.05*period, 300, 5)
 	fmt.Printf("\nMonte Carlo (300 trials, sigmaL=1.5nm, litho-systematic means, period=1.05x):\n")
 	fmt.Printf("  WNS mean %.1f ps, sigma %.1f ps, min %.1f ps\n", st.WNSMean, st.WNSSigma, st.WNSMin)

@@ -9,10 +9,13 @@ package dfm
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 	"time"
+
+	"repro/internal/harness"
 )
 
 // Metric is one before/after measurement of a technique.
@@ -70,6 +73,10 @@ type Outcome struct {
 	CostNote string
 	Runtime  time.Duration
 	Verdict  Verdict
+	// Attempts is how many evaluation attempts the harness spent on
+	// this outcome (retries of transient workload failures); 0 or 1
+	// for unharnessed runs.
+	Attempts int
 	Err      error
 }
 
@@ -111,15 +118,29 @@ func (o *Outcome) Judge(hitGain, costCap float64) {
 	}
 }
 
+// Default judging thresholds: a 5% primary-metric gain at under 10%
+// cost makes a hit.
+const (
+	DefaultHitGain = 0.05
+	DefaultCostCap = 0.10
+)
+
 // Scorecard collects outcomes.
 type Scorecard struct {
 	Outcomes []Outcome
 }
 
-// Add appends an outcome, judging it with default thresholds when the
-// caller has not: 5% primary-metric gain at under 10% cost makes a
-// hit.
+// Add appends an outcome as-is. Judging is the evaluator's job —
+// every Eval* calls Judge with technique-specific thresholds before
+// returning; use AddJudged for outcomes that have not been judged.
 func (s *Scorecard) Add(o Outcome) {
+	s.Outcomes = append(s.Outcomes, o)
+}
+
+// AddJudged judges the outcome with the default thresholds
+// (DefaultHitGain, DefaultCostCap) and appends it.
+func (s *Scorecard) AddJudged(o Outcome) {
+	o.Judge(DefaultHitGain, DefaultCostCap)
 	s.Outcomes = append(s.Outcomes, o)
 }
 
@@ -132,7 +153,7 @@ func (s *Scorecard) Table() string {
 	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 110))
 	for _, o := range s.Outcomes {
 		if o.Err != nil {
-			fmt.Fprintf(&b, "%-22s ERROR: %v\n", o.Technique, o.Err)
+			fmt.Fprintf(&b, "%-22s ERROR[%s]: %v\n", o.Technique, errKind(o.Err), o.Err)
 			continue
 		}
 		p, _ := o.Primary()
@@ -150,7 +171,13 @@ func (s *Scorecard) Detail() string {
 		fmt.Fprintf(&b, "== %s [%s] cost=%.2f%% (%s) runtime=%v\n",
 			o.Technique, o.Verdict, 100*o.CostFrac, o.CostNote, o.Runtime.Round(time.Millisecond))
 		if o.Err != nil {
-			fmt.Fprintf(&b, "   error: %v\n", o.Err)
+			fmt.Fprintf(&b, "   error[%s]: %v\n", errKind(o.Err), o.Err)
+			var he *harness.Error
+			if errors.As(o.Err, &he) && len(he.Stack) > 0 {
+				for _, line := range strings.Split(strings.TrimRight(string(he.Stack), "\n"), "\n") {
+					fmt.Fprintf(&b, "     %s\n", line)
+				}
+			}
 			continue
 		}
 		for _, m := range o.Metrics {
@@ -180,14 +207,28 @@ func (s *Scorecard) Hits() (hit, marginal, hype int) {
 	return
 }
 
+// errKind names the harness classification of an outcome error for
+// the text renderers ("timeout", "panic", "workload", "canceled", or
+// "error" for unclassified failures).
+func errKind(err error) string {
+	return harness.KindOf(err).String()
+}
+
 // jsonOutcome is the serializable view of an Outcome.
 type jsonOutcome struct {
-	Technique string   `json:"technique"`
-	Verdict   string   `json:"verdict"`
-	CostFrac  float64  `json:"costFrac"`
-	CostNote  string   `json:"costNote,omitempty"`
-	RuntimeMS float64  `json:"runtimeMs"`
-	Error     string   `json:"error,omitempty"`
+	Technique string  `json:"technique"`
+	Verdict   string  `json:"verdict"`
+	CostFrac  float64 `json:"costFrac"`
+	CostNote  string  `json:"costNote,omitempty"`
+	RuntimeMS float64 `json:"runtimeMs"`
+	// Attempts counts harness evaluation attempts (> 1 when retries
+	// recovered or exhausted a transient workload failure).
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// ErrorKind is the harness taxonomy bucket of Error: "timeout",
+	// "panic", "workload", "canceled", or "error".
+	ErrorKind string   `json:"errorKind,omitempty"`
+	Retryable bool     `json:"retryable,omitempty"`
 	Metrics   []Metric `json:"metrics,omitempty"`
 }
 
@@ -202,10 +243,13 @@ func (s *Scorecard) JSON() ([]byte, error) {
 			CostFrac:  o.CostFrac,
 			CostNote:  o.CostNote,
 			RuntimeMS: float64(o.Runtime.Microseconds()) / 1000,
+			Attempts:  o.Attempts,
 			Metrics:   o.Metrics,
 		}
 		if o.Err != nil {
 			jo.Error = o.Err.Error()
+			jo.ErrorKind = errKind(o.Err)
+			jo.Retryable = harness.IsRetryable(o.Err)
 		}
 		out = append(out, jo)
 	}

@@ -1,6 +1,7 @@
 package dfm
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -99,7 +100,7 @@ func TestScorecardRendering(t *testing.T) {
 
 func TestEvalRedundantVia(t *testing.T) {
 	tt := tech.N45()
-	o := EvalRedundantVia(tt, layout.BlockOpts{Rows: 2, RowWidth: 8000, Nets: 10, MaxFan: 3, Seed: 4})
+	o := EvalRedundantVia(context.Background(), tt, layout.BlockOpts{Rows: 2, RowWidth: 8000, Nets: 10, MaxFan: 3, Seed: 4})
 	if o.Err != nil {
 		t.Fatal(o.Err)
 	}
@@ -114,7 +115,7 @@ func TestEvalRedundantVia(t *testing.T) {
 
 func TestEvalDummyFill(t *testing.T) {
 	tt := tech.N45()
-	o := EvalDummyFill(tt, layout.BlockOpts{Rows: 2, RowWidth: 8000, Nets: 10, MaxFan: 3, Seed: 4})
+	o := EvalDummyFill(context.Background(), tt, layout.BlockOpts{Rows: 2, RowWidth: 8000, Nets: 10, MaxFan: 3, Seed: 4})
 	if o.Err != nil {
 		t.Fatal(o.Err)
 	}
@@ -129,7 +130,7 @@ func TestEvalDummyFill(t *testing.T) {
 
 func TestEvalOPCAccuracy(t *testing.T) {
 	tt := tech.N45()
-	o := EvalOPCAccuracy(tt)
+	o := EvalOPCAccuracy(context.Background(), tt)
 	if o.Err != nil {
 		t.Fatal(o.Err)
 	}
@@ -154,7 +155,7 @@ func TestEvalOPCAccuracy(t *testing.T) {
 
 func TestEvalSRAF(t *testing.T) {
 	tt := tech.N45()
-	o := EvalSRAF(tt)
+	o := EvalSRAF(context.Background(), tt)
 	if o.Err != nil {
 		t.Fatal(o.Err)
 	}
@@ -173,7 +174,7 @@ func TestEvalSRAF(t *testing.T) {
 
 func TestEvalDRCPlusCapturesMoreThanDRC(t *testing.T) {
 	tt := tech.N45()
-	o := EvalDRCPlus(tt, 11, 12)
+	o := EvalDRCPlus(context.Background(), tt, 11, 12)
 	if o.Err != nil {
 		t.Fatal(o.Err)
 	}
@@ -188,7 +189,10 @@ func TestEvalDRCPlusCapturesMoreThanDRC(t *testing.T) {
 
 func TestExtractGateLengths(t *testing.T) {
 	tt := tech.N45()
-	gl := ExtractGateLengths(tt, litho.Nominal, true)
+	gl, err := ExtractGateLengths(context.Background(), tt, litho.Nominal, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, gt := range []circuit.GateType{circuit.Inv, circuit.Nand2, circuit.Nor2, circuit.Buf} {
 		d, ok := gl.Delay[gt]
 		if !ok {
@@ -207,7 +211,7 @@ func TestExtractGateLengths(t *testing.T) {
 
 func TestEvalLithoTiming(t *testing.T) {
 	tt := tech.N45()
-	o := EvalLithoTiming(tt, 9)
+	o := EvalLithoTiming(context.Background(), tt, 9)
 	if o.Err != nil {
 		t.Fatal(o.Err)
 	}
@@ -222,7 +226,7 @@ func TestEvalLithoTiming(t *testing.T) {
 
 func TestEvalRestrictedRules(t *testing.T) {
 	tt := tech.N45()
-	o := EvalRestrictedRules(tt)
+	o := EvalRestrictedRules(context.Background(), tt)
 	if o.Err != nil {
 		t.Fatal(o.Err)
 	}
@@ -241,7 +245,7 @@ func TestRunAllScorecard(t *testing.T) {
 		t.Skip("full scorecard is slow")
 	}
 	tt := tech.N45()
-	sc := RunAll(tt, 11)
+	sc := RunAll(context.Background(), tt, 11)
 	if len(sc.Outcomes) != 8 {
 		t.Fatalf("technique count = %d", len(sc.Outcomes))
 	}

@@ -1,10 +1,11 @@
 package dfm
 
 import (
-	"time"
+	"context"
 
 	"repro/internal/dpt"
 	"repro/internal/geom"
+	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/tech"
 )
@@ -16,12 +17,16 @@ import (
 // stitch repair. The benefit metric is unresolved conflicts removed by
 // stitching; the cost is stitch count (each stitch is an overlay-
 // sensitive liability).
-func EvalDPT(t *tech.Tech, opts layout.BlockOpts) Outcome {
-	start := time.Now()
-	o := Outcome{Technique: "dpt-decomposition"}
+func EvalDPT(ctx context.Context, t *tech.Tech, opts layout.BlockOpts) (o Outcome) {
+	o = Outcome{Technique: "dpt-decomposition"}
+	defer track(&o)()
+	if err := ctx.Err(); err != nil {
+		o.Err = err
+		return o
+	}
 	l, err := layout.GenerateBlock(t, opts)
 	if err != nil {
-		o.Err = err
+		o.Err = harness.Workload(err)
 		return o
 	}
 	m2 := layout.ByLayer(l.Flatten())[tech.Metal2]
@@ -30,6 +35,10 @@ func EvalDPT(t *tech.Tech, opts layout.BlockOpts) Outcome {
 	sameMask := t.Rules[tech.Metal2].MinSpace * 17 / 10
 
 	plain := dpt.Decompose(m2, sameMask, false, 0)
+	if err := ctx.Err(); err != nil {
+		o.Err = err
+		return o
+	}
 	stitched := dpt.Decompose(m2, sameMask, true, 40)
 	sStitched := stitched.ScoreDecomposition(40)
 
@@ -53,7 +62,6 @@ func EvalDPT(t *tech.Tech, opts layout.BlockOpts) Outcome {
 		o.CostFrac = float64(overlap) / float64(total)
 	}
 	o.CostNote = "stitch overlays (CD variability at every stitch)"
-	o.Runtime = time.Since(start)
 	o.Judge(0.10, 0.10)
 	return o
 }

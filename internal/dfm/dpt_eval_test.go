@@ -1,6 +1,7 @@
 package dfm
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/layout"
@@ -9,7 +10,7 @@ import (
 
 func TestEvalDPT(t *testing.T) {
 	tt := tech.N45()
-	o := EvalDPT(tt, layout.BlockOpts{Rows: 2, RowWidth: 8000, Nets: 12, MaxFan: 3, Seed: 5})
+	o := EvalDPT(context.Background(), tt, layout.BlockOpts{Rows: 2, RowWidth: 8000, Nets: 12, MaxFan: 3, Seed: 5})
 	if o.Err != nil {
 		t.Fatal(o.Err)
 	}

@@ -1,0 +1,152 @@
+package dfm
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// Scorecard assembly on top of the fault-tolerant harness: the
+// technique evaluators become harness tasks, run through a bounded
+// worker pool with per-technique deadlines, panic recovery, and
+// retry-on-workload-failure, and the results fold back into a
+// Scorecard in the canonical technique order regardless of
+// completion order.
+
+// Config controls a harnessed scorecard run.
+type Config struct {
+	// Parallel is the worker-pool size; < 1 means sequential.
+	Parallel int
+	// Timeout is the per-technique, per-attempt wall-clock budget;
+	// 0 means none.
+	Timeout time.Duration
+	// TimeoutFor overrides Timeout for specific techniques — heavy
+	// evaluators can get a bigger budget than cheap ones.
+	TimeoutFor map[string]time.Duration
+	// Retries is the number of extra attempts granted to retryable
+	// workload failures; each retry perturbs the workload seed.
+	Retries int
+	// Backoff is the first retry delay (doubles per retry).
+	Backoff time.Duration
+	// Hook runs before every attempt; fault injection plugs in here.
+	Hook harness.Hook
+}
+
+// DefaultConfig runs one worker per CPU with one retry and no
+// deadline — the deadline is a deployment policy, so the CLI sets it
+// explicitly.
+func DefaultConfig() Config {
+	return Config{
+		Parallel: runtime.GOMAXPROCS(0),
+		Retries:  1,
+		Backoff:  50 * time.Millisecond,
+	}
+}
+
+// seedPerturb spreads retry seeds away from the original and from
+// each other so a degenerate workload is not regenerated verbatim.
+const seedPerturb = 7919
+
+// PerturbSeed derives the workload seed for a retry attempt
+// (attempt 0 returns the seed unchanged).
+func PerturbSeed(seed int64, attempt int) int64 {
+	return seed + int64(attempt)*seedPerturb
+}
+
+// TechniqueTasks builds the harness task list for every technique at
+// the given base seed, in the canonical scorecard order. Retry
+// attempts of workload-driven techniques run on perturbed seeds.
+func TechniqueTasks(t *tech.Tech, seed int64) []harness.Task {
+	blockOpts := func(attempt int) layout.BlockOpts {
+		return layout.BlockOpts{
+			Rows: 3, RowWidth: 10000, Nets: 15, MaxFan: 3,
+			Seed: PerturbSeed(seed, attempt),
+		}
+	}
+	mk := func(name string, fn func(ctx context.Context, attempt int) Outcome) harness.Task {
+		return harness.Task{Name: name, Run: func(ctx context.Context, attempt int) (any, error) {
+			o := fn(ctx, attempt)
+			return o, o.Err
+		}}
+	}
+	return []harness.Task{
+		mk("redundant-via", func(ctx context.Context, a int) Outcome {
+			return EvalRedundantVia(ctx, t, blockOpts(a))
+		}),
+		mk("dummy-fill", func(ctx context.Context, a int) Outcome {
+			return EvalDummyFill(ctx, t, blockOpts(a))
+		}),
+		mk("model-opc", func(ctx context.Context, a int) Outcome {
+			return EvalOPCAccuracy(ctx, t)
+		}),
+		mk("sraf", func(ctx context.Context, a int) Outcome {
+			return EvalSRAF(ctx, t)
+		}),
+		mk("drc-plus", func(ctx context.Context, a int) Outcome {
+			s := PerturbSeed(seed, a)
+			return EvalDRCPlus(ctx, t, s, s+1)
+		}),
+		mk("litho-aware-timing", func(ctx context.Context, a int) Outcome {
+			return EvalLithoTiming(ctx, t, PerturbSeed(seed, a))
+		}),
+		mk("restricted-rules", func(ctx context.Context, a int) Outcome {
+			return EvalRestrictedRules(ctx, t)
+		}),
+		mk("dpt-decomposition", func(ctx context.Context, a int) Outcome {
+			return EvalDPT(ctx, t, blockOpts(a))
+		}),
+	}
+}
+
+// RunAll evaluates every technique with default workloads and returns
+// the scorecard — the panel's question, answered end to end. It runs
+// through the fault-tolerant harness with DefaultConfig.
+func RunAll(ctx context.Context, t *tech.Tech, seed int64) *Scorecard {
+	return RunAllConfig(ctx, t, seed, DefaultConfig())
+}
+
+// RunAllConfig is RunAll with explicit harness policy. Every
+// technique always yields exactly one outcome: a failed, timed-out,
+// panicked, or canceled evaluator degrades to an outcome whose Err
+// carries the harness's typed classification while the remaining
+// techniques report real verdicts.
+func RunAllConfig(ctx context.Context, t *tech.Tech, seed int64, cfg Config) *Scorecard {
+	tasks := TechniqueTasks(t, seed)
+	for i := range tasks {
+		if d, ok := cfg.TimeoutFor[tasks[i].Name]; ok {
+			tasks[i].Timeout = d
+		}
+	}
+	results := harness.Run(ctx, tasks, harness.Options{
+		Parallel: cfg.Parallel,
+		Timeout:  cfg.Timeout,
+		Retries:  cfg.Retries,
+		Backoff:  cfg.Backoff,
+		Hook:     cfg.Hook,
+	})
+	sc := &Scorecard{}
+	for _, r := range results {
+		o, ok := r.Value.(Outcome)
+		if !ok {
+			// The attempt never produced an outcome (abandoned
+			// timeout, panic, injected fault): synthesize the shell.
+			o = Outcome{Technique: r.Name}
+		}
+		if r.Err != nil {
+			// The harness error is the richer, classified form of
+			// whatever the evaluator reported.
+			o.Err = r.Err
+			o.Verdict = Hype
+		}
+		o.Attempts = r.Attempts
+		if o.Runtime == 0 {
+			o.Runtime = r.Runtime
+		}
+		sc.Add(o)
+	}
+	return sc
+}

@@ -1,6 +1,7 @@
 package dfm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/dvia"
 	"repro/internal/fill"
 	"repro/internal/geom"
+	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/litho"
 	"repro/internal/opc"
@@ -23,20 +25,37 @@ import (
 // Technique evaluators: each applies one DFM technology to a synthetic
 // workload and returns before/after metrics. These are the experiment
 // engines behind the T/F benchmarks in bench_test.go.
+//
+// Every evaluator takes a context and honors cancellation at the
+// checkpoints of its heavy inner loops (litho simulation, OPC
+// iteration, layer scans), returning a partial Outcome whose Err is
+// the context error. Workload-generation failures are wrapped with
+// harness.Workload so the runner can retry them on a perturbed seed.
 
 // FullChipVias is the via count the per-block redundancy statistics
 // are extrapolated to — the scale at which the panel's yield argument
 // plays out.
 const FullChipVias = 1e8
 
+// track stamps the outcome's runtime when the evaluator returns,
+// including early error returns.
+func track(o *Outcome) func() {
+	start := time.Now()
+	return func() { o.Runtime = time.Since(start) }
+}
+
 // EvalRedundantVia measures the via-yield movement of double-via
 // insertion on a routed block, extrapolated to full-chip via counts.
-func EvalRedundantVia(t *tech.Tech, opts layout.BlockOpts) Outcome {
-	start := time.Now()
-	o := Outcome{Technique: "redundant-via"}
+func EvalRedundantVia(ctx context.Context, t *tech.Tech, opts layout.BlockOpts) (o Outcome) {
+	o = Outcome{Technique: "redundant-via"}
+	defer track(&o)()
+	if err := ctx.Err(); err != nil {
+		o.Err = err
+		return o
+	}
 	l, err := layout.GenerateBlock(t, opts)
 	if err != nil {
-		o.Err = err
+		o.Err = harness.Workload(err)
 		return o
 	}
 	flat := l.Flatten()
@@ -71,19 +90,22 @@ func EvalRedundantVia(t *tech.Tech, opts layout.BlockOpts) Outcome {
 	}
 	o.CostFrac = 0 // cuts only; no area, no timing
 	o.CostNote = fmt.Sprintf("%d extra cuts, %d landing bars", g.AddedCuts, len(g.Report.AddedShapes)-g.AddedCuts)
-	o.Runtime = time.Since(start)
 	o.Judge(0.02, 0.10)
 	return o
 }
 
 // EvalDummyFill measures density uniformity and CMP planarity gains of
 // metal fill against its added-metal cost.
-func EvalDummyFill(t *tech.Tech, opts layout.BlockOpts) Outcome {
-	start := time.Now()
-	o := Outcome{Technique: "dummy-fill"}
+func EvalDummyFill(ctx context.Context, t *tech.Tech, opts layout.BlockOpts) (o Outcome) {
+	o = Outcome{Technique: "dummy-fill"}
+	defer track(&o)()
+	if err := ctx.Err(); err != nil {
+		o.Err = err
+		return o
+	}
 	l, err := layout.GenerateBlock(t, opts)
 	if err != nil {
-		o.Err = err
+		o.Err = harness.Workload(err)
 		return o
 	}
 	flat := l.Flatten()
@@ -95,6 +117,10 @@ func EvalDummyFill(t *tech.Tech, opts layout.BlockOpts) Outcome {
 	fo.Window, fo.Step = 3000, 1500
 
 	before := fill.Analyze(m1, extent, fo.Window, fo.Step)
+	if err := ctx.Err(); err != nil {
+		o.Err = err
+		return o
+	}
 	tiles := fill.Synthesize(m1, extent, fo)
 	after := fill.Analyze(append(append([]geom.Rect{}, m1...), tiles...), extent, fo.Window, fo.Step)
 	cmp := fill.DefaultCMP()
@@ -114,16 +140,15 @@ func EvalDummyFill(t *tech.Tech, opts layout.BlockOpts) Outcome {
 		o.CostFrac = float64(tileArea) / float64(a)
 	}
 	o.CostNote = fmt.Sprintf("%d dummy tiles (dead metal; electrically cheap, so the cost cap is loose)", len(tiles))
-	o.Runtime = time.Since(start)
 	o.Judge(0.10, 0.40)
 	return o
 }
 
 // EvalOPCAccuracy compares EPE statistics of uncorrected, rule-based,
 // and model-based OPC masks on a mixed dense/iso/line-end workload.
-func EvalOPCAccuracy(t *tech.Tech) Outcome {
-	start := time.Now()
-	o := Outcome{Technique: "model-opc"}
+func EvalOPCAccuracy(ctx context.Context, t *tech.Tech) (o Outcome) {
+	o = Outcome{Technique: "model-opc"}
+	defer track(&o)()
 	var drawn []geom.Rect
 	for i := int64(0); i < 4; i++ {
 		drawn = append(drawn, geom.R(i*140, 0, i*140+70, 1200))
@@ -134,13 +159,33 @@ func EvalOPCAccuracy(t *tech.Tech) Outcome {
 	drawn = geom.Normalize(drawn)
 	window := geom.BBoxOf(drawn).Bloat(400)
 
-	rms := func(mask []geom.Rect) float64 {
-		img := litho.Simulate(mask, window, t.Optics, litho.Nominal)
-		return litho.SummarizeEPE(img.MeasureEPE(drawn, 150)).RMS
+	rms := func(mask []geom.Rect) (float64, error) {
+		img, err := litho.SimulateCtx(ctx, mask, window, t.Optics, litho.Nominal)
+		if err != nil {
+			return 0, err
+		}
+		return litho.SummarizeEPE(img.MeasureEPE(drawn, 150)).RMS, nil
 	}
-	none := rms(drawn)
-	rule := rms(opc.RuleBased(drawn, opc.DefaultRuleOpts()))
-	model := rms(opc.ModelBased(drawn, window, t.Optics, opc.DefaultModelOpts()).Mask)
+	none, err := rms(drawn)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	rule, err := rms(opc.RuleBased(drawn, opc.DefaultRuleOpts()))
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	mres, err := opc.ModelBasedCtx(ctx, drawn, window, t.Optics, opc.DefaultModelOpts())
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	model, err := rms(mres.Mask)
+	if err != nil {
+		o.Err = err
+		return o
+	}
 
 	// Inverse OPC is compared on the isolated structure it is scoped
 	// for (see BenchmarkAblationILTvsModel); the pixel solver's hinge
@@ -152,38 +197,56 @@ func EvalOPCAccuracy(t *tech.Tech) Outcome {
 	}
 	o.CostFrac = 0
 	o.CostNote = "mask data volume and OPC compute"
-	o.Runtime = time.Since(start)
 	o.Judge(0.30, 0.10)
 	return o
 }
 
 // EvalSRAF measures process-window extension from assist features on
 // an isolated line.
-func EvalSRAF(t *tech.Tech) Outcome {
-	start := time.Now()
-	o := Outcome{Technique: "sraf"}
+func EvalSRAF(ctx context.Context, t *tech.Tech) (o Outcome) {
+	o = Outcome{Technique: "sraf"}
+	defer track(&o)()
 	drawn := []geom.Rect{geom.R(0, 0, 70, 3000)}
 	window := geom.R(-450, 1200, 550, 1800)
 	defocus := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120}
 	dose := []float64{0.92, 0.96, 1.0, 1.04, 1.08}
 
-	measure := func(mask []geom.Rect) (dof float64, cdDelta float64) {
-		cd0, ok := litho.Simulate(mask, window, t.Optics, litho.Nominal).CDAt(35, 1500, true)
+	measure := func(mask []geom.Rect) (dof float64, cdDelta float64, err error) {
+		img, err := litho.SimulateCtx(ctx, mask, window, t.Optics, litho.Nominal)
+		if err != nil {
+			return 0, 0, err
+		}
+		cd0, ok := img.CDAt(35, 1500, true)
 		if !ok {
-			return 0, math.Inf(1)
+			return 0, math.Inf(1), nil
 		}
 		spec := litho.CDSpec{Target: cd0, Tol: 0.10}
-		pts := litho.FEMatrix(mask, window, t.Optics, 35, 1500, true, spec, defocus, dose)
-		dof = litho.DepthOfFocus(pts, defocus)
-		cdF, okF := litho.Simulate(mask, window, t.Optics, litho.Condition{Defocus: 80, Dose: 1}).CDAt(35, 1500, true)
-		if !okF {
-			return dof, cd0 // feature lost entirely: count the full CD
+		pts, err := litho.FEMatrixCtx(ctx, mask, window, t.Optics, 35, 1500, true, spec, defocus, dose)
+		if err != nil {
+			return 0, 0, err
 		}
-		return dof, math.Abs(cd0 - cdF)
+		dof = litho.DepthOfFocus(pts, defocus)
+		imgF, err := litho.SimulateCtx(ctx, mask, window, t.Optics, litho.Condition{Defocus: 80, Dose: 1})
+		if err != nil {
+			return dof, 0, err
+		}
+		cdF, okF := imgF.CDAt(35, 1500, true)
+		if !okF {
+			return dof, cd0, nil // feature lost entirely: count the full CD
+		}
+		return dof, math.Abs(cd0 - cdF), nil
 	}
 	bare := geom.Normalize(drawn)
-	dofB, dB := measure(bare)
-	dofS, dS := measure(opc.WithSRAF(bare, opc.DefaultSRAFOpts()))
+	dofB, dB, err := measure(bare)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	dofS, dS, err := measure(opc.WithSRAF(bare, opc.DefaultSRAFOpts()))
+	if err != nil {
+		o.Err = err
+		return o
+	}
 
 	o.Metrics = []Metric{
 		// The continuous through-focus CD stability leads; the
@@ -193,7 +256,6 @@ func EvalSRAF(t *tech.Tech) Outcome {
 	}
 	o.CostFrac = 0
 	o.CostNote = "mask complexity (assist shapes), MRC burden"
-	o.Runtime = time.Since(start)
 	o.Judge(0.15, 0.10)
 	return o
 }
@@ -205,19 +267,22 @@ var StressCond = litho.Condition{Defocus: 110, Dose: 0.95}
 // EvalDRCPlus trains a pattern library from the litho hotspots of one
 // design and measures hotspot capture on a second design, against the
 // plain-DRC baseline.
-func EvalDRCPlus(t *tech.Tech, trainSeed, testSeed int64) Outcome {
-	start := time.Now()
-	o := Outcome{Technique: "drc-plus"}
+func EvalDRCPlus(ctx context.Context, t *tech.Tech, trainSeed, testSeed int64) (o Outcome) {
+	o = Outcome{Technique: "drc-plus"}
+	defer track(&o)()
 
 	makeM1 := func(seed int64) ([]geom.Rect, []litho.Hotspot, error) {
 		l, err := layout.GenerateBlock(t, layout.BlockOpts{
 			Rows: 2, RowWidth: 6000, Nets: 8, MaxFan: 3, Seed: seed,
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, harness.Workload(err)
 		}
 		m1 := geom.Normalize(layout.ByLayer(l.Flatten())[tech.Metal1])
-		hs := litho.ScanLayer(m1, t, tech.Metal1, StressCond, 0, 0)
+		hs, err := litho.ScanLayerCtx(ctx, m1, t, tech.Metal1, StressCond, 0, 0)
+		if err != nil {
+			return nil, nil, err
+		}
 		return m1, hs, nil
 	}
 
@@ -232,7 +297,9 @@ func EvalDRCPlus(t *tech.Tech, trainSeed, testSeed int64) Outcome {
 		return o
 	}
 	if len(testHS) == 0 {
-		o.Err = fmt.Errorf("no hotspots on test design at stress condition")
+		// A hotspot-free test design cannot measure capture; a fresh
+		// seed usually produces one, so let the harness retry.
+		o.Err = harness.Workloadf("no hotspots on test design at stress condition")
 		return o
 	}
 
@@ -257,6 +324,11 @@ func EvalDRCPlus(t *tech.Tech, trainSeed, testSeed int64) Outcome {
 			P:     p,
 			Exact: true,
 		})
+	}
+
+	if err := ctx.Err(); err != nil {
+		o.Err = err
+		return o
 	}
 
 	// Plain-DRC baseline capture on the test design.
@@ -294,7 +366,6 @@ func EvalDRCPlus(t *tech.Tech, trainSeed, testSeed int64) Outcome {
 	}
 	o.CostFrac = 0
 	o.CostNote = fmt.Sprintf("%d pattern rules to maintain; %d matches to review", matcher.Len(), len(matches))
-	o.Runtime = time.Since(start)
 	o.Judge(0.10, 0.10)
 	return o
 }
@@ -329,8 +400,10 @@ type GateLengths struct {
 // (optionally after model OPC), intersects the printed contours with
 // the drawn diffusion, slices the non-rectangular gates, and returns
 // the delay- and leakage-equivalent lengths per gate type — the
-// post-OPC extraction step of the litho-aware timing flow.
-func ExtractGateLengths(t *tech.Tech, cond litho.Condition, useOPC bool) GateLengths {
+// post-OPC extraction step of the litho-aware timing flow. On
+// cancellation it returns the lengths extracted so far alongside the
+// context error.
+func ExtractGateLengths(ctx context.Context, t *tech.Tech, cond litho.Condition, useOPC bool) (GateLengths, error) {
 	lib := layout.NewLib(t)
 	nmos := device.NMOS45()
 	gl := GateLengths{
@@ -348,9 +421,16 @@ func ExtractGateLengths(t *tech.Tech, cond litho.Condition, useOPC bool) GateLen
 		mask := poly
 		if useOPC {
 			mo := opc.DefaultModelOpts()
-			mask = opc.ModelBased(poly, window, t.Optics, mo).Mask
+			res, err := opc.ModelBasedCtx(ctx, poly, window, t.Optics, mo)
+			if err != nil {
+				return gl, err
+			}
+			mask = res.Mask
 		}
-		img := litho.Simulate(mask, window, t.Optics, cond)
+		img, err := litho.SimulateCtx(ctx, mask, window, t.Optics, cond)
+		if err != nil {
+			return gl, err
+		}
 		printed := img.PrintedRects()
 		gates := geom.Intersect(printed, diff)
 		comps := drc.Components(geom.Normalize(gates))
@@ -374,22 +454,30 @@ func ExtractGateLengths(t *tech.Tech, cond litho.Condition, useOPC bool) GateLen
 			gl.Leak[gt] = nmos.LNom
 		}
 	}
-	return gl
+	return gl, nil
 }
 
 // EvalLithoTiming quantifies the signoff error removed by litho-aware
 // timing: STA with drawn lengths versus STA with post-OPC extracted
 // lengths, on a random logic block.
-func EvalLithoTiming(t *tech.Tech, netSeed int64) Outcome {
-	start := time.Now()
-	o := Outcome{Technique: "litho-aware-timing"}
+func EvalLithoTiming(ctx context.Context, t *tech.Tech, netSeed int64) (o Outcome) {
+	o = Outcome{Technique: "litho-aware-timing"}
+	defer track(&o)()
+	if err := ctx.Err(); err != nil {
+		o.Err = err
+		return o
+	}
 	nl := circuit.RandomLogic(10, 14, 16, netSeed)
 	lib := sta.DefaultLib()
 
 	drawn := sta.Analyze(nl, lib, sta.Lengths{}, 0)
 	period := drawn.Arrival[drawn.Critical[len(drawn.Critical)-1]]
 
-	gl := ExtractGateLengths(t, litho.Nominal, true)
+	gl, err := ExtractGateLengths(ctx, t, litho.Nominal, true)
+	if err != nil {
+		o.Err = err
+		return o
+	}
 	lens := sta.TypeLengths(nl, gl.Delay, gl.Leak)
 	silicon := sta.Analyze(nl, lib, lens, period)
 
@@ -404,16 +492,15 @@ func EvalLithoTiming(t *tech.Tech, netSeed int64) Outcome {
 	}
 	o.CostFrac = 0
 	o.CostNote = "litho simulation + extraction in the signoff loop"
-	o.Runtime = time.Since(start)
 	o.Judge(0.02, 0.10)
 	return o
 }
 
 // EvalRestrictedRules compares the restricted node against baseline:
 // printability robustness gained versus area paid.
-func EvalRestrictedRules(t *tech.Tech) Outcome {
-	start := time.Now()
-	o := Outcome{Technique: "restricted-rules"}
+func EvalRestrictedRules(ctx context.Context, t *tech.Tech) (o Outcome) {
+	o = Outcome{Technique: "restricted-rules"}
+	defer track(&o)()
 	base := t
 	restr := tech.N45R()
 
@@ -431,38 +518,67 @@ func EvalRestrictedRules(t *tech.Tech) Outcome {
 
 	// Printability: PV band area fraction of metal1 line/space at each
 	// node's minimum pitch — the dimension the restricted rules relax.
-	bandFrac := func(tt *tech.Tech) float64 {
+	bandFrac := func(tt *tech.Tech) (float64, error) {
 		r := tt.Rules[tech.Metal1]
 		cell := layout.LineSpace(tt, tech.Metal1, r.MinWidth, r.MinSpace, 3000, 7)
 		m1 := geom.Normalize(cell.LayerRects(tech.Metal1))
 		window := cell.BBox().BloatXY(200, -800) // interior band, away from line ends
-		pv := litho.ComputePVBand(m1, window, tt.Optics, litho.StandardCorners(120, 0.05))
+		pv, err := litho.ComputePVBandCtx(ctx, m1, window, tt.Optics, litho.StandardCorners(120, 0.05))
+		if err != nil {
+			return 0, err
+		}
 		covered := geom.AreaOf(geom.Intersect(m1, []geom.Rect{window}))
 		if covered > 0 {
-			return float64(pv.BandArea()) / float64(covered)
+			return float64(pv.BandArea()) / float64(covered), nil
 		}
-		return 0
+		return 0, nil
 	}
-	bBase, bRestr := bandFrac(base), bandFrac(restr)
+	bBase, err := bandFrac(base)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	bRestr, err := bandFrac(restr)
+	if err != nil {
+		o.Err = err
+		return o
+	}
 
 	// Through-focus CD loss of the minimum line.
-	cdLoss := func(tt *tech.Tech) float64 {
+	cdLoss := func(tt *tech.Tech) (float64, error) {
 		r := tt.Rules[tech.Metal1]
 		cell := layout.LineSpace(tt, tech.Metal1, r.MinWidth, r.MinSpace, 3000, 7)
 		m1 := cell.LayerRects(tech.Metal1)
 		x := float64(3*r.Pitch + r.MinWidth/2) // center line
 		win := geom.R(int64(x)-700, 1200, int64(x)+700, 1800)
-		cd0, ok0 := litho.Simulate(m1, win, tt.Optics, litho.Nominal).CDAt(x, 1500, true)
-		cdF, okF := litho.Simulate(m1, win, tt.Optics, litho.Condition{Defocus: 120, Dose: 1}).CDAt(x, 1500, true)
+		img0, err := litho.SimulateCtx(ctx, m1, win, tt.Optics, litho.Nominal)
+		if err != nil {
+			return 0, err
+		}
+		imgF, err := litho.SimulateCtx(ctx, m1, win, tt.Optics, litho.Condition{Defocus: 120, Dose: 1})
+		if err != nil {
+			return 0, err
+		}
+		cd0, ok0 := img0.CDAt(x, 1500, true)
+		cdF, okF := imgF.CDAt(x, 1500, true)
 		if !ok0 {
-			return math.Inf(1)
+			return math.Inf(1), nil
 		}
 		if !okF {
-			return cd0
+			return cd0, nil
 		}
-		return math.Abs(cd0 - cdF)
+		return math.Abs(cd0 - cdF), nil
 	}
-	cBase, cRestr := cdLoss(base), cdLoss(restr)
+	cBase, err := cdLoss(base)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	cRestr, err := cdLoss(restr)
+	if err != nil {
+		o.Err = err
+		return o
+	}
 
 	o.Metrics = []Metric{
 		{Name: "M1 PV band fraction", Before: bBase, After: bRestr, Unit: "frac", HigherIsBetter: false, Primary: true},
@@ -473,23 +589,6 @@ func EvalRestrictedRules(t *tech.Tech) Outcome {
 		o.CostFrac = (aRestr - aBase) / aBase
 	}
 	o.CostNote = "area growth under restricted pitches"
-	o.Runtime = time.Since(start)
 	o.Judge(0.05, 0.10)
 	return o
-}
-
-// RunAll evaluates every technique with default workloads and returns
-// the scorecard — the panel's question, answered end to end.
-func RunAll(t *tech.Tech, seed int64) *Scorecard {
-	sc := &Scorecard{}
-	blockOpts := layout.BlockOpts{Rows: 3, RowWidth: 10000, Nets: 15, MaxFan: 3, Seed: seed}
-	sc.Add(EvalRedundantVia(t, blockOpts))
-	sc.Add(EvalDummyFill(t, blockOpts))
-	sc.Add(EvalOPCAccuracy(t))
-	sc.Add(EvalSRAF(t))
-	sc.Add(EvalDRCPlus(t, seed, seed+1))
-	sc.Add(EvalLithoTiming(t, seed))
-	sc.Add(EvalRestrictedRules(t))
-	sc.Add(EvalDPT(t, blockOpts))
-	return sc
 }

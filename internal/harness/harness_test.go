@@ -1,0 +1,305 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// noSleep makes retry backoff instantaneous for tests.
+func noSleep(opts *Options) {
+	opts.sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+}
+
+func TestRunPreservesTaskOrder(t *testing.T) {
+	var tasks []Task
+	for i := 0; i < 10; i++ {
+		i := i
+		tasks = append(tasks, Task{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func(ctx context.Context, attempt int) (any, error) {
+				return i * i, nil
+			},
+		})
+	}
+	results := Run(context.Background(), tasks, Options{Parallel: 4})
+	if len(results) != 10 {
+		t.Fatalf("results = %d, want 10", len(results))
+	}
+	for i, r := range results {
+		if r.Name != fmt.Sprintf("t%d", i) || r.Value != i*i || r.Err != nil || r.Attempts != 1 {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+}
+
+func TestBoundedParallelism(t *testing.T) {
+	var cur, peak int32
+	var mu sync.Mutex
+	tasks := make([]Task, 12)
+	for i := range tasks {
+		tasks[i] = Task{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func(ctx context.Context, attempt int) (any, error) {
+				n := atomic.AddInt32(&cur, 1)
+				mu.Lock()
+				if n > peak {
+					peak = n
+				}
+				mu.Unlock()
+				time.Sleep(5 * time.Millisecond)
+				atomic.AddInt32(&cur, -1)
+				return nil, nil
+			},
+		}
+	}
+	Run(context.Background(), tasks, Options{Parallel: 3})
+	mu.Lock()
+	defer mu.Unlock()
+	if peak > 3 {
+		t.Fatalf("peak concurrency %d exceeds pool size 3", peak)
+	}
+	if peak < 2 {
+		t.Fatalf("peak concurrency %d: pool not actually parallel", peak)
+	}
+}
+
+func TestPanicRecovered(t *testing.T) {
+	tasks := []Task{
+		{Name: "boom", Run: func(ctx context.Context, attempt int) (any, error) {
+			panic("kaboom in evaluator")
+		}},
+		{Name: "fine", Run: func(ctx context.Context, attempt int) (any, error) {
+			return "ok", nil
+		}},
+	}
+	results := Run(context.Background(), tasks, Options{Parallel: 2})
+	if !errors.Is(results[0].Err, ErrPanic) {
+		t.Fatalf("panic not classified: %v", results[0].Err)
+	}
+	var he *Error
+	if !errors.As(results[0].Err, &he) {
+		t.Fatalf("panic error not a *Error: %T", results[0].Err)
+	}
+	if he.Technique != "boom" || !strings.Contains(he.Err.Error(), "kaboom") {
+		t.Fatalf("panic error poorly annotated: %+v", he)
+	}
+	if len(he.Stack) == 0 || !strings.Contains(string(he.Stack), "goroutine") {
+		t.Fatalf("panic stack not captured")
+	}
+	if results[1].Err != nil || results[1].Value != "ok" {
+		t.Fatalf("healthy task disturbed by sibling panic: %+v", results[1])
+	}
+}
+
+func TestTimeoutAbandonsHungTask(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	tasks := []Task{
+		{Name: "hang", Run: func(ctx context.Context, attempt int) (any, error) {
+			<-release // ignores ctx: a truly wedged evaluator
+			return nil, nil
+		}},
+		{Name: "fine", Run: func(ctx context.Context, attempt int) (any, error) {
+			return 42, nil
+		}},
+	}
+	start := time.Now()
+	results := Run(context.Background(), tasks, Options{Parallel: 2, Timeout: 30 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run blocked on hung task: %v", elapsed)
+	}
+	if !errors.Is(results[0].Err, ErrTimeout) {
+		t.Fatalf("hung task not classified timeout: %v", results[0].Err)
+	}
+	if results[1].Err != nil || results[1].Value != 42 {
+		t.Fatalf("healthy task disturbed: %+v", results[1])
+	}
+}
+
+func TestCooperativeTimeout(t *testing.T) {
+	tasks := []Task{
+		{Name: "coop", Run: func(ctx context.Context, attempt int) (any, error) {
+			<-ctx.Done() // evaluator notices its budget expired
+			return "partial", ctx.Err()
+		}},
+	}
+	results := Run(context.Background(), tasks, Options{Timeout: 20 * time.Millisecond})
+	if !errors.Is(results[0].Err, ErrTimeout) {
+		t.Fatalf("cooperative deadline not classified timeout: %v", results[0].Err)
+	}
+}
+
+func TestPerTaskTimeoutOverride(t *testing.T) {
+	slow := func(ctx context.Context, attempt int) (any, error) {
+		select {
+		case <-time.After(200 * time.Millisecond):
+			return "done", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	tasks := []Task{
+		{Name: "tight", Run: slow, Timeout: 20 * time.Millisecond},
+		{Name: "roomy", Run: slow},
+	}
+	results := Run(context.Background(), tasks, Options{Parallel: 2, Timeout: 5 * time.Second})
+	if !errors.Is(results[0].Err, ErrTimeout) {
+		t.Fatalf("per-task timeout not applied: %v", results[0].Err)
+	}
+	if results[1].Err != nil || results[1].Value != "done" {
+		t.Fatalf("global timeout clobbered by sibling override: %+v", results[1])
+	}
+}
+
+func TestRetryRecoversTransientWorkload(t *testing.T) {
+	var calls int32
+	tasks := []Task{
+		{Name: "flaky", Run: func(ctx context.Context, attempt int) (any, error) {
+			if atomic.AddInt32(&calls, 1) <= 2 {
+				return nil, Workloadf("degenerate workload, attempt %d", attempt)
+			}
+			return "recovered on attempt " + fmt.Sprint(attempt), nil
+		}},
+	}
+	opts := Options{Retries: 2}
+	noSleep(&opts)
+	results := Run(context.Background(), tasks, opts)
+	if results[0].Err != nil {
+		t.Fatalf("retry did not recover: %v", results[0].Err)
+	}
+	if results[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", results[0].Attempts)
+	}
+	if results[0].Value != "recovered on attempt 2" {
+		t.Fatalf("attempt number not plumbed: %v", results[0].Value)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	tasks := []Task{
+		{Name: "doomed", Run: func(ctx context.Context, attempt int) (any, error) {
+			return nil, Workload(errors.New("always bad"))
+		}},
+	}
+	opts := Options{Retries: 1}
+	noSleep(&opts)
+	results := Run(context.Background(), tasks, opts)
+	if !errors.Is(results[0].Err, ErrWorkload) {
+		t.Fatalf("exhausted retries not classified workload: %v", results[0].Err)
+	}
+	if results[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", results[0].Attempts)
+	}
+	var he *Error
+	if !errors.As(results[0].Err, &he) || !he.Retryable || he.Attempts != 2 {
+		t.Fatalf("error annotation wrong: %+v", he)
+	}
+	if !strings.Contains(results[0].Err.Error(), "after 2 attempts") {
+		t.Fatalf("error string missing attempts: %v", results[0].Err)
+	}
+}
+
+func TestTerminalErrorNotRetried(t *testing.T) {
+	var calls int32
+	tasks := []Task{
+		{Name: "terminal", Run: func(ctx context.Context, attempt int) (any, error) {
+			atomic.AddInt32(&calls, 1)
+			return nil, errors.New("deterministic evaluation failure")
+		}},
+	}
+	opts := Options{Retries: 3}
+	noSleep(&opts)
+	results := Run(context.Background(), tasks, opts)
+	if calls != 1 {
+		t.Fatalf("terminal error retried %d times", calls)
+	}
+	if KindOf(results[0].Err) != KindNone {
+		t.Fatalf("plain error reclassified: %v", results[0].Err)
+	}
+}
+
+func TestCanceledRunDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var tasks []Task
+	tasks = append(tasks, Task{Name: "first", Run: func(ctx context.Context, attempt int) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}})
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, Task{Name: fmt.Sprintf("queued%d", i),
+			Run: func(ctx context.Context, attempt int) (any, error) { return "ran", nil }})
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	results := Run(ctx, tasks, Options{Parallel: 1})
+	if !errors.Is(results[0].Err, ErrCanceled) {
+		t.Fatalf("in-flight task not canceled: %v", results[0].Err)
+	}
+	for _, r := range results[1:] {
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Fatalf("queued task %s not drained as canceled: %v", r.Name, r.Err)
+		}
+	}
+}
+
+func TestHookErrorFailsAttempt(t *testing.T) {
+	hookErr := errors.New("injected")
+	tasks := []Task{
+		{Name: "hooked", Run: func(ctx context.Context, attempt int) (any, error) {
+			t.Error("Run executed despite hook failure")
+			return nil, nil
+		}},
+	}
+	results := Run(context.Background(), tasks, Options{
+		Hook: func(ctx context.Context, technique string, attempt int) error { return hookErr },
+	})
+	if !errors.Is(results[0].Err, hookErr) {
+		t.Fatalf("hook error lost: %v", results[0].Err)
+	}
+}
+
+func TestErrorTaxonomyMatching(t *testing.T) {
+	cases := []struct {
+		err  error
+		want error
+		kind Kind
+	}{
+		{&Error{Kind: KindTimeout}, ErrTimeout, KindTimeout},
+		{&Error{Kind: KindPanic}, ErrPanic, KindPanic},
+		{Workload(errors.New("x")), ErrWorkload, KindWorkload},
+		{&Error{Kind: KindCanceled}, ErrCanceled, KindCanceled},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.want) {
+			t.Errorf("%v does not match its sentinel", c.err)
+		}
+		if KindOf(c.err) != c.kind {
+			t.Errorf("KindOf(%v) = %v, want %v", c.err, KindOf(c.err), c.kind)
+		}
+		// A kind must only match its own sentinel.
+		for _, other := range cases {
+			if other.want != c.want && errors.Is(c.err, other.want) {
+				t.Errorf("%v wrongly matches %v", c.err, other.want)
+			}
+		}
+	}
+	if KindOf(errors.New("plain")) != KindNone {
+		t.Errorf("plain error got a harness kind")
+	}
+	if IsRetryable(&Error{Kind: KindTimeout}) {
+		t.Errorf("timeout marked retryable")
+	}
+	if !IsRetryable(fmt.Errorf("wrap: %w", Workload(errors.New("w")))) {
+		t.Errorf("wrapped workload error not retryable")
+	}
+}

@@ -1,6 +1,7 @@
 package litho
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -92,6 +93,14 @@ func (im *Image) FindHotspots(minWidth, minSpace int64) []Hotspot {
 // seams invisible. minWidth/minSpace default to 60% of the layer's
 // design rules when zero — the standard "electrical fail" margin.
 func ScanLayer(rs []geom.Rect, t *tech.Tech, layer tech.Layer, cond Condition, minWidth, minSpace int64) []Hotspot {
+	hs, _ := ScanLayerCtx(context.Background(), rs, t, layer, cond, minWidth, minSpace)
+	return hs
+}
+
+// ScanLayerCtx is ScanLayer with a cancellation checkpoint per tile
+// (and per blur pass inside each tile's simulation); on cancellation
+// it returns the hotspots found so far alongside the context error.
+func ScanLayerCtx(ctx context.Context, rs []geom.Rect, t *tech.Tech, layer tech.Layer, cond Condition, minWidth, minSpace int64) ([]Hotspot, error) {
 	if minWidth == 0 {
 		minWidth = t.Rules[layer].MinWidth * 6 / 10
 	}
@@ -100,7 +109,7 @@ func ScanLayer(rs []geom.Rect, t *tech.Tech, layer tech.Layer, cond Condition, m
 	}
 	bb := geom.BBoxOf(rs)
 	if bb.Empty() {
-		return nil
+		return nil, nil
 	}
 	const tile = 12000 // nm
 	var out []Hotspot
@@ -110,7 +119,10 @@ func ScanLayer(rs []geom.Rect, t *tech.Tech, layer tech.Layer, cond Condition, m
 			win := geom.R(x, y, min64(x+tile, bb.X1), min64(y+tile, bb.Y1))
 			// Give the tile a margin so hotspots at seams are detected
 			// whole; dedupe below handles the overlap.
-			img := Simulate(rs, win.Bloat(500), t.Optics, cond)
+			img, err := SimulateCtx(ctx, rs, win.Bloat(500), t.Optics, cond)
+			if err != nil {
+				return out, err
+			}
 			for _, h := range img.FindHotspots(minWidth, minSpace) {
 				if !h.Box.Overlaps(win) && !win.ContainsRect(h.Box) {
 					continue
@@ -133,7 +145,7 @@ func ScanLayer(rs []geom.Rect, t *tech.Tech, layer tech.Layer, cond Condition, m
 		}
 		return a.Kind < b.Kind
 	})
-	return out
+	return out, nil
 }
 
 func min64(a, b int64) int64 {

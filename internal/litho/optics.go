@@ -1,6 +1,7 @@
 package litho
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/geom"
@@ -35,6 +36,15 @@ type Image struct {
 // padded by the kernel support so features just outside the window
 // still contribute (optical proximity has no cell boundaries).
 func Simulate(mask []geom.Rect, window geom.Rect, opt tech.Optics, cond Condition) *Image {
+	img, _ := SimulateCtx(context.Background(), mask, window, opt, cond)
+	return img
+}
+
+// SimulateCtx is Simulate with cancellation checkpoints: the context
+// is checked before rasterization, between kernel passes, and every
+// few hundred rows inside the separable blur, so a canceled or
+// timed-out caller gets control back mid-image rather than after it.
+func SimulateCtx(ctx context.Context, mask []geom.Rect, window geom.Rect, opt tech.Optics, cond Condition) (*Image, error) {
 	sigmas := make([]float64, len(opt.Sigmas))
 	maxSigma := 0.0
 	for i, s := range opt.Sigmas {
@@ -50,6 +60,9 @@ func Simulate(mask []geom.Rect, window geom.Rect, opt tech.Optics, cond Conditio
 	pad := int64(math.Ceil(3 * maxSigma))
 	padded := window.Bloat(pad)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := NewGrid(padded, opt.GridNM)
 	g.Rasterize(mask)
 
@@ -64,7 +77,10 @@ func Simulate(mask []geom.Rect, window geom.Rect, opt tech.Optics, cond Conditio
 	}
 	tmp := g.Clone()
 	for k, s := range sigmas {
-		blurred := GaussianBlur(tmp, s/opt.GridNM)
+		blurred, err := gaussianBlurCtx(ctx, tmp, s/opt.GridNM)
+		if err != nil {
+			return nil, err
+		}
 		w := opt.Weights[k] / wsum
 		for i := range amp.Data {
 			amp.Data[i] += w * blurred.Data[i]
@@ -85,15 +101,25 @@ func Simulate(mask []geom.Rect, window geom.Rect, opt tech.Optics, cond Conditio
 			img.Data[j*img.W+i] = amp.At(i+di, j+dj)
 		}
 	}
-	return &Image{Grid: img, Threshold: opt.Threshold, Cond: cond}
+	return &Image{Grid: img, Threshold: opt.Threshold, Cond: cond}, nil
 }
 
 // GaussianBlur returns the grid convolved with an isotropic Gaussian
 // of the given sigma in pixels, using the separable two-pass method
 // with a 3-sigma truncated kernel.
 func GaussianBlur(g *Grid, sigmaPx float64) *Grid {
+	b, _ := gaussianBlurCtx(context.Background(), g, sigmaPx)
+	return b
+}
+
+// blurCheckRows is how many convolution rows run between context
+// checks — coarse enough to cost nothing, fine enough that a blur
+// over a full tile yields within a few milliseconds of cancellation.
+const blurCheckRows = 256
+
+func gaussianBlurCtx(ctx context.Context, g *Grid, sigmaPx float64) (*Grid, error) {
 	if sigmaPx <= 0 {
-		return g.Clone()
+		return g.Clone(), nil
 	}
 	r := int(math.Ceil(3 * sigmaPx))
 	kern := make([]float64, 2*r+1)
@@ -110,6 +136,11 @@ func GaussianBlur(g *Grid, sigmaPx float64) *Grid {
 	// Horizontal pass.
 	hp := &Grid{Origin: g.Origin, Pitch: g.Pitch, W: g.W, H: g.H, Data: make([]float64, len(g.Data))}
 	for j := 0; j < g.H; j++ {
+		if j%blurCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row := j * g.W
 		for i := 0; i < g.W; i++ {
 			var acc float64
@@ -126,6 +157,11 @@ func GaussianBlur(g *Grid, sigmaPx float64) *Grid {
 	// Vertical pass.
 	vp := &Grid{Origin: g.Origin, Pitch: g.Pitch, W: g.W, H: g.H, Data: make([]float64, len(g.Data))}
 	for j := 0; j < g.H; j++ {
+		if j%blurCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for i := 0; i < g.W; i++ {
 			var acc float64
 			for k := -r; k <= r; k++ {
@@ -138,7 +174,7 @@ func GaussianBlur(g *Grid, sigmaPx float64) *Grid {
 			vp.Data[j*g.W+i] = acc
 		}
 	}
-	return vp
+	return vp, nil
 }
 
 // PrintsAt reports whether the image prints (exceeds threshold) at nm

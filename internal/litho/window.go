@@ -1,6 +1,7 @@
 package litho
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/geom"
@@ -36,18 +37,31 @@ type FEPoint struct {
 func FEMatrix(mask []geom.Rect, window geom.Rect, opt tech.Optics,
 	x, y float64, horizontal bool, spec CDSpec,
 	defocus, dose []float64) []FEPoint {
+	pts, _ := FEMatrixCtx(context.Background(), mask, window, opt, x, y, horizontal, spec, defocus, dose)
+	return pts
+}
+
+// FEMatrixCtx is FEMatrix with a cancellation checkpoint per
+// focus-exposure condition; on cancellation it returns the points
+// sampled so far alongside the context error.
+func FEMatrixCtx(ctx context.Context, mask []geom.Rect, window geom.Rect, opt tech.Optics,
+	x, y float64, horizontal bool, spec CDSpec,
+	defocus, dose []float64) ([]FEPoint, error) {
 
 	out := make([]FEPoint, 0, len(defocus)*len(dose))
 	for _, f := range defocus {
 		for _, d := range dose {
-			img := Simulate(mask, window, opt, Condition{Defocus: f, Dose: d})
+			img, err := SimulateCtx(ctx, mask, window, opt, Condition{Defocus: f, Dose: d})
+			if err != nil {
+				return out, err
+			}
 			cd, ok := img.CDAt(x, y, horizontal)
 			p := FEPoint{Cond: Condition{Defocus: f, Dose: d}, CD: cd}
 			p.OK = ok && spec.InSpec(cd)
 			out = append(out, p)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // DepthOfFocus returns the widest contiguous defocus range (nm) over
@@ -110,9 +124,20 @@ type PVBand struct {
 // ComputePVBand simulates every corner condition and overlays the
 // printed regions.
 func ComputePVBand(mask []geom.Rect, window geom.Rect, opt tech.Optics, corners []Condition) PVBand {
+	pv, _ := ComputePVBandCtx(context.Background(), mask, window, opt, corners)
+	return pv
+}
+
+// ComputePVBandCtx is ComputePVBand with a cancellation checkpoint
+// per corner condition.
+func ComputePVBandCtx(ctx context.Context, mask []geom.Rect, window geom.Rect, opt tech.Optics, corners []Condition) (PVBand, error) {
+	var pv PVBand
 	var always, ever *Bitmap
 	for _, c := range corners {
-		img := Simulate(mask, window, opt, c)
+		img, err := SimulateCtx(ctx, mask, window, opt, c)
+		if err != nil {
+			return pv, err
+		}
 		b := img.PrintedBitmap()
 		if always == nil {
 			always, ever = b.clone(), b.clone()
@@ -121,14 +146,13 @@ func ComputePVBand(mask []geom.Rect, window geom.Rect, opt tech.Optics, corners 
 		always = always.And(b)
 		ever = ever.Or(b)
 	}
-	var pv PVBand
 	if always == nil {
-		return pv
+		return pv, nil
 	}
 	pv.Always = always.ToRects()
 	pv.Ever = ever.ToRects()
 	pv.Band = ever.AndNot(always).ToRects()
-	return pv
+	return pv, nil
 }
 
 // BandArea returns the PV band area in nm^2.

@@ -7,6 +7,7 @@
 package opc
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/geom"
@@ -213,13 +214,26 @@ type Result struct {
 // error. Window is the simulation region (drawn geometry plus optical
 // ambit).
 func ModelBased(drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo ModelOpts) Result {
+	res, _ := ModelBasedCtx(context.Background(), drawn, window, opt, mo)
+	return res
+}
+
+// ModelBasedCtx is ModelBased with a cancellation checkpoint per
+// feedback iteration (and per blur pass inside each simulation). On
+// cancellation it returns the best mask so far alongside the context
+// error, so callers can distinguish a converged result from an
+// interrupted one.
+func ModelBasedCtx(ctx context.Context, drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo ModelOpts) (Result, error) {
 	frags := FragmentEdges(drawn, mo.MaxLen, mo.CornerLen)
 	capOutward(drawn, frags, mo)
 	res := Result{Fragments: frags}
 
 	for it := 0; it <= mo.Iterations; it++ {
 		mask := ApplyBias(drawn, frags)
-		img := litho.Simulate(mask, window, opt, mo.Cond)
+		img, err := litho.SimulateCtx(ctx, mask, window, opt, mo.Cond)
+		if err != nil {
+			return res, err
+		}
 		var sq float64
 		n := 0
 		for _, f := range frags {
@@ -244,5 +258,5 @@ func ModelBased(drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo ModelOp
 		res.RMSHistory = append(res.RMSHistory, rms)
 		res.Mask = mask
 	}
-	return res
+	return res, nil
 }

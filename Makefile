@@ -8,17 +8,22 @@
 
 GO ?= go
 
-.PHONY: tier1 check build vet test race-fast bench
+.PHONY: tier1 check build vet test race-fast bench fmt-check
 
-tier1: ## build + vet + full tests under the race detector
+tier1: ## build + vet + gofmt gate + full tests under the race detector
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) fmt-check
 	$(GO) test -race ./...
 
 check: ## quick gate: build + vet + full tests (no race detector)
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
+
+fmt-check: ## fail if any file is not gofmt-formatted
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -32,5 +37,5 @@ test:
 race-fast: ## race pass skipping the slow full-scorecard experiments
 	$(GO) test -race -short ./...
 
-bench: ## regenerate every experiment
-	$(GO) test -bench=. -benchmem
+bench: ## run the tier-1 benchmark set and record BENCH_PR2.json
+	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_PR2.json

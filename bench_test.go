@@ -290,9 +290,9 @@ func BenchmarkF4MonteCarloSTA(b *testing.B) {
 	nom := sta.Analyze(nl, lib, sta.Lengths{}, 0)
 	period := 1.05 * nom.Arrival[nom.Critical[len(nom.Critical)-1]]
 	gl, err := dfm.ExtractGateLengths(context.Background(), t, litho.Nominal, true)
-		if err != nil {
-			b.Fatal(err)
-		}
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		base := sta.MonteCarlo(nl, lib, sta.Variation{SigmaL: 1.5}, period, 200, 1)

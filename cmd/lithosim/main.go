@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/geom"
 	"repro/internal/layout"
@@ -31,7 +33,37 @@ func main() {
 	n := flag.Int("n", 7, "line count for -lines")
 	fem := flag.Bool("fem", false, "print the focus-exposure matrix of the center feature")
 	metro := flag.Bool("metro", false, "generate and execute a design-driven metrology plan")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lithosim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lithosim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lithosim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects for an accurate live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lithosim:", err)
+			}
+		}()
+	}
 
 	t := tech.N45()
 	var rs []geom.Rect

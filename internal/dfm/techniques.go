@@ -212,7 +212,12 @@ func EvalSRAF(ctx context.Context, t *tech.Tech) (o Outcome) {
 	dose := []float64{0.92, 0.96, 1.0, 1.04, 1.08}
 
 	measure := func(mask []geom.Rect) (dof float64, cdDelta float64, err error) {
-		img, err := litho.SimulateCtx(ctx, mask, window, t.Optics, litho.Nominal)
+		// One rasterization serves the nominal image, the whole FE
+		// matrix, and the through-focus CD check: the defocus-80 image
+		// is already in the raster's cache by the time it is asked for.
+		rm := litho.NewRasterMask(mask, window, t.Optics, defocus[len(defocus)-1])
+		defer rm.Release()
+		img, err := litho.SimulateRaster(ctx, rm, litho.Nominal)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -221,12 +226,12 @@ func EvalSRAF(ctx context.Context, t *tech.Tech) (o Outcome) {
 			return 0, math.Inf(1), nil
 		}
 		spec := litho.CDSpec{Target: cd0, Tol: 0.10}
-		pts, err := litho.FEMatrixCtx(ctx, mask, window, t.Optics, 35, 1500, true, spec, defocus, dose)
+		pts, err := litho.FEMatrixRaster(ctx, rm, 35, 1500, true, spec, defocus, dose)
 		if err != nil {
 			return 0, 0, err
 		}
 		dof = litho.DepthOfFocus(pts, defocus)
-		imgF, err := litho.SimulateCtx(ctx, mask, window, t.Optics, litho.Condition{Defocus: 80, Dose: 1})
+		imgF, err := litho.SimulateRaster(ctx, rm, litho.Condition{Defocus: 80, Dose: 1})
 		if err != nil {
 			return dof, 0, err
 		}
@@ -551,11 +556,13 @@ func EvalRestrictedRules(ctx context.Context, t *tech.Tech) (o Outcome) {
 		m1 := cell.LayerRects(tech.Metal1)
 		x := float64(3*r.Pitch + r.MinWidth/2) // center line
 		win := geom.R(int64(x)-700, 1200, int64(x)+700, 1800)
-		img0, err := litho.SimulateCtx(ctx, m1, win, tt.Optics, litho.Nominal)
+		rm := litho.NewRasterMask(m1, win, tt.Optics, 120)
+		defer rm.Release()
+		img0, err := litho.SimulateRaster(ctx, rm, litho.Nominal)
 		if err != nil {
 			return 0, err
 		}
-		imgF, err := litho.SimulateCtx(ctx, m1, win, tt.Optics, litho.Condition{Defocus: 120, Dose: 1})
+		imgF, err := litho.SimulateRaster(ctx, rm, litho.Condition{Defocus: 120, Dose: 1})
 		if err != nil {
 			return 0, err
 		}

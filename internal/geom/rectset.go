@@ -1,6 +1,9 @@
 package geom
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // This file implements boolean algebra on sets of axis-aligned
 // rectangles using slab decomposition: the plane is cut into horizontal
@@ -19,7 +22,7 @@ func mergeIntervals(iv []interval) []interval {
 	if len(iv) <= 1 {
 		return iv
 	}
-	sort.Slice(iv, func(i, j int) bool { return iv[i].lo < iv[j].lo })
+	slices.SortFunc(iv, func(a, b interval) int { return cmp.Compare(a.lo, b.lo) })
 	out := iv[:1]
 	for _, v := range iv[1:] {
 		last := &out[len(out)-1]
@@ -63,13 +66,21 @@ func combineIntervals(a, b []interval, op func(inA, inB bool) bool) []interval {
 	if len(xs) == 0 {
 		return nil
 	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.Sort(xs)
 	xs = dedup64(xs)
 
 	contains := func(iv []interval, x int64) bool {
 		// binary search for the interval with lo <= x < hi
-		i := sort.Search(len(iv), func(i int) bool { return iv[i].hi > x })
-		return i < len(iv) && iv[i].lo <= x
+		lo, hi := 0, len(iv)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if iv[mid].hi > x {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo < len(iv) && iv[lo].lo <= x
 	}
 
 	var out []interval
@@ -113,7 +124,7 @@ func boolOp(a, b []Rect, op func(inA, inB bool) bool) []Rect {
 	if len(ys) == 0 {
 		return nil
 	}
-	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	slices.Sort(ys)
 	ys = dedup64(ys)
 
 	type slab struct {
@@ -169,17 +180,17 @@ func sameIntervals(a, b []interval) bool {
 }
 
 func sortRects(rs []Rect) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Y0 != rs[j].Y0 {
-			return rs[i].Y0 < rs[j].Y0
+	slices.SortFunc(rs, func(a, b Rect) int {
+		if c := cmp.Compare(a.Y0, b.Y0); c != 0 {
+			return c
 		}
-		if rs[i].X0 != rs[j].X0 {
-			return rs[i].X0 < rs[j].X0
+		if c := cmp.Compare(a.X0, b.X0); c != 0 {
+			return c
 		}
-		if rs[i].Y1 != rs[j].Y1 {
-			return rs[i].Y1 < rs[j].Y1
+		if c := cmp.Compare(a.Y1, b.Y1); c != 0 {
+			return c
 		}
-		return rs[i].X1 < rs[j].X1
+		return cmp.Compare(a.X1, b.X1)
 	})
 }
 
@@ -189,8 +200,67 @@ func Union(a, b []Rect) []Rect {
 }
 
 // Normalize converts an arbitrary (possibly overlapping) rect list into
-// the canonical disjoint form.
-func Normalize(rs []Rect) []Rect { return Union(rs, nil) }
+// the canonical disjoint form. Input that is already canonical (the
+// overwhelmingly common case in the simulation and OPC hot loops,
+// which re-normalize the same geometry every iteration) is detected
+// with a zero-allocation linear scan and returned as-is — callers must
+// treat the result as immutable, as they would the input.
+func Normalize(rs []Rect) []Rect {
+	if IsNormal(rs) {
+		return rs
+	}
+	return Union(rs, nil)
+}
+
+// IsNormal reports whether rs is exactly in the canonical form the
+// boolean ops produce: no empty rects; rects grouped into y-bands of
+// identical [Y0, Y1) sorted by Y0; bands pairwise y-disjoint; within a
+// band, x-sorted with strictly positive gaps (touching rects would
+// have been merged); and no two abutting bands with identical interval
+// lists (they would have been coalesced vertically).
+func IsNormal(rs []Rect) bool {
+	pb0, pbn := -1, 0 // previous band start index and length
+	cb0 := 0          // current band start index
+	for i, r := range rs {
+		if r.Empty() {
+			return false
+		}
+		if i == 0 {
+			continue
+		}
+		p := rs[i-1]
+		if r.Y0 == p.Y0 && r.Y1 == p.Y1 {
+			if r.X0 <= p.X1 {
+				return false
+			}
+			continue
+		}
+		if r.Y0 < p.Y1 {
+			return false
+		}
+		if pb0 >= 0 && rs[pb0].Y1 == rs[cb0].Y0 && sameXSpans(rs[pb0:pb0+pbn], rs[cb0:i]) {
+			return false
+		}
+		pb0, pbn = cb0, i-cb0
+		cb0 = i
+	}
+	if pb0 >= 0 && rs[pb0].Y1 == rs[cb0].Y0 && sameXSpans(rs[pb0:pb0+pbn], rs[cb0:]) {
+		return false
+	}
+	return true
+}
+
+func sameXSpans(a, b []Rect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].X0 != b[i].X0 || a[i].X1 != b[i].X1 {
+			return false
+		}
+	}
+	return true
+}
 
 // Intersect returns the region covered by both a and b.
 func Intersect(a, b []Rect) []Rect {

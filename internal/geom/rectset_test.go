@@ -305,3 +305,45 @@ func TestScale(t *testing.T) {
 		t.Fatalf("den=0 not clamped")
 	}
 }
+
+// TestIsNormalConsistentWithUnion pins the Normalize fast path to the
+// slab-decomposition ground truth: IsNormal must accept exactly the
+// sets that Union(rs, nil) maps to themselves. A false accept would
+// let Normalize return overlapping or fragmented geometry untouched.
+func TestIsNormalConsistentWithUnion(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		rs := randRectSet(rnd, 1+rnd.Intn(6))
+		want := rectsEqual(Union(rs, nil), rs)
+		if got := IsNormal(rs); got != want {
+			t.Fatalf("IsNormal(%v) = %v, want %v", rs, got, want)
+		}
+		// Canonical output must always take the fast path.
+		if norm := Union(rs, nil); !IsNormal(norm) {
+			t.Fatalf("IsNormal rejects canonical %v", norm)
+		}
+	}
+	// Directed cases the random sets rarely hit.
+	cases := []struct {
+		rs   []Rect
+		want bool
+	}{
+		{nil, true},
+		{[]Rect{R(0, 0, 10, 10)}, true},
+		{[]Rect{R(0, 0, 10, 10), R(0, 0, 10, 10)}, false},                                       // duplicate
+		{[]Rect{R(0, 0, 10, 10), R(10, 0, 20, 10)}, false},                                      // x-abutting, same band
+		{[]Rect{R(0, 0, 10, 10), R(0, 10, 10, 20)}, false},                                      // y-abutting, identical x-spans
+		{[]Rect{R(0, 0, 10, 10), R(0, 10, 12, 20)}, true},                                       // y-abutting, different x-spans
+		{[]Rect{R(0, 0, 10, 10), R(12, 0, 20, 10)}, true},                                       // gapped same band
+		{[]Rect{R(0, 0, 10, 10), R(0, 5, 30, 15)}, false},                                       // y-overlapping bands
+		{[]Rect{R(12, 0, 20, 10), R(0, 0, 10, 10)}, false},                                      // unsorted
+		{[]Rect{R(0, 0, 0, 10)}, false},                                                         // empty rect
+		{[]Rect{R(0, 0, 10, 10), R(20, 0, 30, 10), R(0, 10, 10, 20), R(20, 10, 30, 20)}, false}, // both bands coalescible
+		{[]Rect{R(0, 0, 10, 10), R(20, 0, 30, 10), R(0, 10, 10, 20), R(20, 10, 31, 20)}, true},  // second band differs
+	}
+	for _, c := range cases {
+		if got := IsNormal(c.rs); got != c.want {
+			t.Errorf("IsNormal(%v) = %v, want %v", c.rs, got, c.want)
+		}
+	}
+}

@@ -29,20 +29,31 @@ type Grid struct {
 	Data   []float64
 }
 
-// NewGrid allocates a zeroed grid covering the window at the given
-// pitch. The window is expanded to whole pixels.
-func NewGrid(window geom.Rect, pitch float64) *Grid {
+// gridDims returns the pixel dimensions of a grid covering the window
+// at the given pitch: the window is expanded to whole pixels, with at
+// least one pixel per axis.
+func gridDims(window geom.Rect, pitch float64) (w, h int) {
 	if pitch <= 0 {
 		pitch = 1
 	}
-	w := int(math.Ceil(float64(window.Width()) / pitch))
-	h := int(math.Ceil(float64(window.Height()) / pitch))
+	w = int(math.Ceil(float64(window.Width()) / pitch))
+	h = int(math.Ceil(float64(window.Height()) / pitch))
 	if w < 1 {
 		w = 1
 	}
 	if h < 1 {
 		h = 1
 	}
+	return w, h
+}
+
+// NewGrid allocates a zeroed grid covering the window at the given
+// pitch. The window is expanded to whole pixels.
+func NewGrid(window geom.Rect, pitch float64) *Grid {
+	if pitch <= 0 {
+		pitch = 1
+	}
+	w, h := gridDims(window, pitch)
 	return &Grid{
 		Origin: window.LL(),
 		Pitch:  pitch,

@@ -3,6 +3,7 @@ package litho
 import (
 	"context"
 	"math"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/tech"
@@ -42,66 +43,26 @@ func Simulate(mask []geom.Rect, window geom.Rect, opt tech.Optics, cond Conditio
 
 // SimulateCtx is Simulate with cancellation checkpoints: the context
 // is checked before rasterization, between kernel passes, and every
-// few hundred rows inside the separable blur, so a canceled or
-// timed-out caller gets control back mid-image rather than after it.
+// few dozen rows inside the separable blur, so a canceled or timed-out
+// caller gets control back mid-image rather than after it.
+//
+// Callers that simulate the same mask/window pair more than once — FE
+// matrices, PV-band corners, multi-corner OPC — should build a
+// RasterMask and use SimulateRaster instead, which rasterizes once and
+// caches per-defocus intensity fields.
 func SimulateCtx(ctx context.Context, mask []geom.Rect, window geom.Rect, opt tech.Optics, cond Condition) (*Image, error) {
-	sigmas := make([]float64, len(opt.Sigmas))
-	maxSigma := 0.0
-	for i, s := range opt.Sigmas {
-		f := 1.0
-		if opt.DefocusScale > 0 {
-			f = math.Sqrt(1 + (cond.Defocus/opt.DefocusScale)*(cond.Defocus/opt.DefocusScale))
-		}
-		sigmas[i] = s * f
-		if sigmas[i] > maxSigma {
-			maxSigma = sigmas[i]
-		}
-	}
-	pad := int64(math.Ceil(3 * maxSigma))
-	padded := window.Bloat(pad)
-
-	if err := ctx.Err(); err != nil {
+	rm := newRasterMask(mask, window, opt, cond.Defocus, false)
+	defer rm.Release()
+	g, err := rm.unitIntensity(ctx, cond.Defocus)
+	if err != nil {
 		return nil, err
 	}
-	g := NewGrid(padded, opt.GridNM)
-	g.Rasterize(mask)
-
-	// Amplitude: weighted sum of Gaussian blurs of the mask function.
-	amp := NewGrid(padded, opt.GridNM)
-	var wsum float64
-	for _, w := range opt.Weights {
-		wsum += w
-	}
-	if wsum == 0 {
-		wsum = 1
-	}
-	tmp := g.Clone()
-	for k, s := range sigmas {
-		blurred, err := gaussianBlurCtx(ctx, tmp, s/opt.GridNM)
-		if err != nil {
-			return nil, err
-		}
-		w := opt.Weights[k] / wsum
-		for i := range amp.Data {
-			amp.Data[i] += w * blurred.Data[i]
+	if cond.Dose != 1 {
+		for i := range g.Data {
+			g.Data[i] *= cond.Dose
 		}
 	}
-
-	// Intensity = A^2 (clear field: A=1 -> I=1), scaled by dose.
-	for i, a := range amp.Data {
-		amp.Data[i] = a * a * cond.Dose
-	}
-
-	// Crop the padding back off.
-	img := NewGrid(window, opt.GridNM)
-	di := int(math.Round(float64(window.X0-padded.X0) / opt.GridNM))
-	dj := int(math.Round(float64(window.Y0-padded.Y0) / opt.GridNM))
-	for j := 0; j < img.H; j++ {
-		for i := 0; i < img.W; i++ {
-			img.Data[j*img.W+i] = amp.At(i+di, j+dj)
-		}
-	}
-	return &Image{Grid: img, Threshold: opt.Threshold, Cond: cond}, nil
+	return &Image{Grid: g, Threshold: opt.Threshold, Cond: cond}, nil
 }
 
 // GaussianBlur returns the grid convolved with an isotropic Gaussian
@@ -112,14 +73,34 @@ func GaussianBlur(g *Grid, sigmaPx float64) *Grid {
 	return b
 }
 
-// blurCheckRows is how many convolution rows run between context
-// checks — coarse enough to cost nothing, fine enough that a blur
-// over a full tile yields within a few milliseconds of cancellation.
-const blurCheckRows = 256
-
 func gaussianBlurCtx(ctx context.Context, g *Grid, sigmaPx float64) (*Grid, error) {
 	if sigmaPx <= 0 {
 		return g.Clone(), nil
+	}
+	kern := gaussKernel(sigmaPx)
+	tmp := getBuf(len(g.Data))
+	defer putBuf(tmp)
+	out := &Grid{Origin: g.Origin, Pitch: g.Pitch, W: g.W, H: g.H, Data: make([]float64, len(g.Data))}
+	if err := blurH(ctx, g.Data, tmp, g.W, g.H, kern); err != nil {
+		return nil, err
+	}
+	if err := blurVAcc(ctx, tmp, out.Data, g.W, g.H, kern, 1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// kernCache memoizes normalized kernels by sigma. The working set is
+// tiny — one entry per distinct (sigma, defocus) pair in play — and
+// the cached slices are shared read-only.
+var kernCache sync.Map // sigmaPx float64 -> []float64
+
+// gaussKernel returns the normalized 3-sigma truncated Gaussian kernel
+// for the given sigma in pixels. The returned slice is shared: callers
+// must not modify it.
+func gaussKernel(sigmaPx float64) []float64 {
+	if v, ok := kernCache.Load(sigmaPx); ok {
+		return v.([]float64)
 	}
 	r := int(math.Ceil(3 * sigmaPx))
 	kern := make([]float64, 2*r+1)
@@ -132,49 +113,97 @@ func gaussianBlurCtx(ctx context.Context, g *Grid, sigmaPx float64) (*Grid, erro
 	for i := range kern {
 		kern[i] /= sum
 	}
+	kernCache.Store(sigmaPx, kern)
+	return kern
+}
 
-	// Horizontal pass.
-	hp := &Grid{Origin: g.Origin, Pitch: g.Pitch, W: g.W, H: g.H, Data: make([]float64, len(g.Data))}
-	for j := 0; j < g.H; j++ {
-		if j%blurCheckRows == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		row := j * g.W
-		for i := 0; i < g.W; i++ {
+// blurRowH convolves one row with the kernel under the zero boundary
+// condition (mask padding handles edges). The row is split into
+// left-edge / interior / right-edge segments so the interior — nearly
+// all pixels on production grids — runs the full kernel with no
+// per-tap bounds checks.
+func blurRowH(row, out, kern []float64) {
+	w := len(row)
+	r := len(kern) / 2
+	if w <= 2*r {
+		for i := range out {
 			var acc float64
 			for k := -r; k <= r; k++ {
-				ii := i + k
-				if ii < 0 || ii >= g.W {
-					continue // zero boundary (mask padding handles edges)
+				if ii := i + k; ii >= 0 && ii < w {
+					acc += kern[k+r] * row[ii]
 				}
-				acc += kern[k+r] * g.Data[row+ii]
 			}
-			hp.Data[row+i] = acc
+			out[i] = acc
+		}
+		return
+	}
+	for i := 0; i < r; i++ {
+		var acc float64
+		for k := -i; k <= r; k++ {
+			acc += kern[k+r] * row[i+k]
+		}
+		out[i] = acc
+	}
+	for i := r; i < w-r; i++ {
+		win := row[i-r:]
+		var acc float64
+		for k, kv := range kern {
+			acc += kv * win[k]
+		}
+		out[i] = acc
+	}
+	for i := w - r; i < w; i++ {
+		var acc float64
+		lim := w - 1 - i
+		for k := -r; k <= lim; k++ {
+			acc += kern[k+r] * row[i+k]
+		}
+		out[i] = acc
+	}
+}
+
+// blurVAccRows runs the vertical pass for output rows [j0, j1),
+// accumulating dst += weight * (kern ⊛ src) column-wise. Bounds are
+// clamped per row, so the inner loops are straight multiply-adds over
+// contiguous rows — sequential memory traffic instead of strided
+// column walks.
+func blurVAccRows(src, dst []float64, w, h, j0, j1 int, kern []float64, weight float64) {
+	r := len(kern) / 2
+	for j := j0; j < j1; j++ {
+		out := dst[j*w : (j+1)*w]
+		k0, k1 := -r, r
+		if j+k0 < 0 {
+			k0 = -j
+		}
+		if j+k1 > h-1 {
+			k1 = h - 1 - j
+		}
+		for k := k0; k <= k1; k++ {
+			kw := weight * kern[k+r]
+			row := src[(j+k)*w : (j+k)*w+w]
+			for i, v := range row {
+				out[i] += kw * v
+			}
 		}
 	}
-	// Vertical pass.
-	vp := &Grid{Origin: g.Origin, Pitch: g.Pitch, W: g.W, H: g.H, Data: make([]float64, len(g.Data))}
-	for j := 0; j < g.H; j++ {
-		if j%blurCheckRows == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
+}
+
+// blurH runs the horizontal blur pass src -> dst (dst is fully
+// overwritten), row-parallel across the worker pool.
+func blurH(ctx context.Context, src, dst []float64, w, h int, kern []float64) error {
+	return rowParallel(ctx, h, w, func(j0, j1 int) {
+		for j := j0; j < j1; j++ {
+			blurRowH(src[j*w:(j+1)*w], dst[j*w:(j+1)*w], kern)
 		}
-		for i := 0; i < g.W; i++ {
-			var acc float64
-			for k := -r; k <= r; k++ {
-				jj := j + k
-				if jj < 0 || jj >= g.H {
-					continue
-				}
-				acc += kern[k+r] * hp.Data[jj*g.W+i]
-			}
-			vp.Data[j*g.W+i] = acc
-		}
-	}
-	return vp, nil
+	})
+}
+
+// blurVAcc runs the vertical blur pass, accumulating
+// dst += weight * (kern ⊛ src), row-parallel across the worker pool.
+func blurVAcc(ctx context.Context, src, dst []float64, w, h int, kern []float64, weight float64) error {
+	return rowParallel(ctx, h, w, func(j0, j1 int) {
+		blurVAccRows(src, dst, w, h, j0, j1, kern, weight)
+	})
 }
 
 // PrintsAt reports whether the image prints (exceeds threshold) at nm

@@ -1,0 +1,152 @@
+package litho
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Row-parallel execution and buffer recycling for the simulation
+// kernel. The hot path (Gaussian blur passes over block-scale grids)
+// is embarrassingly parallel across rows; the worker pool follows the
+// internal/harness sizing conventions: bounded by GOMAXPROCS, never
+// more workers than work items, and sequential when parallelism
+// cannot pay for itself. The pool goroutines are started once and
+// reused so the OPC and Monte Carlo inner loops do not pay a spawn
+// (or closure churn) per blur pass.
+
+// parMinPixels is the grid size below which row-parallel dispatch is
+// not worth the handoff; small tiles run inline.
+const parMinPixels = 16 * 1024
+
+// rowChunk is the number of rows a worker claims at a time. It doubles
+// as the cancellation granularity of the sequential path: coarse
+// enough to cost nothing, fine enough that a blur over a full tile
+// yields within a few milliseconds of cancellation.
+const rowChunk = 32
+
+// rowJob is one parallel region: workers atomically claim rowChunk-row
+// slices of [0, h) until exhausted.
+type rowJob struct {
+	fn   func(j0, j1 int)
+	ctx  context.Context
+	h    int
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+func (j *rowJob) run() {
+	for j.ctx.Err() == nil {
+		j0 := (int(j.next.Add(1)) - 1) * rowChunk
+		if j0 >= j.h {
+			break
+		}
+		j1 := j0 + rowChunk
+		if j1 > j.h {
+			j1 = j.h
+		}
+		j.fn(j0, j1)
+	}
+	j.wg.Done()
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan *rowJob
+	jobPool  = sync.Pool{New: func() any { return new(rowJob) }}
+)
+
+func startPool() {
+	n := runtime.GOMAXPROCS(0)
+	poolCh = make(chan *rowJob, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range poolCh {
+				j.run()
+			}
+		}()
+	}
+}
+
+// rowParallel runs fn over disjoint row ranges [j0, j1) covering
+// [0, h), in parallel when the grid is large enough, checking ctx
+// between chunks. fn must only touch rows in its range. The calling
+// goroutine participates as a worker, so progress never depends on
+// pool availability.
+func rowParallel(ctx context.Context, h, w int, fn func(j0, j1 int)) error {
+	workers := runtime.GOMAXPROCS(0)
+	nchunks := (h + rowChunk - 1) / rowChunk
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 || h*w < parMinPixels {
+		for j0 := 0; j0 < h; j0 += rowChunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			j1 := j0 + rowChunk
+			if j1 > h {
+				j1 = h
+			}
+			fn(j0, j1)
+		}
+		return nil
+	}
+	poolOnce.Do(startPool)
+	job := jobPool.Get().(*rowJob)
+	job.fn, job.ctx, job.h = fn, ctx, h
+	job.next.Store(0)
+	job.wg.Add(workers)
+	for i := 0; i < workers-1; i++ {
+		poolCh <- job
+	}
+	job.run()
+	job.wg.Wait()
+	job.fn, job.ctx = nil, nil
+	jobPool.Put(job)
+	return ctx.Err()
+}
+
+// bufPool recycles the float64 backing arrays of the intermediate
+// grids (padded raster, blur scratch, amplitude accumulator) that
+// every simulation call needs. Without it the OPC feedback and Monte
+// Carlo loops allocate three block-scale grids per image. Entries are
+// *[]float64 containers; emptied containers cycle through boxPool so
+// neither getBuf nor putBuf allocates in steady state.
+var (
+	bufPool sync.Pool
+	boxPool sync.Pool
+)
+
+// getBuf returns a zeroed []float64 of length n, reusing a pooled
+// backing array when one is large enough. The caller owns the buffer
+// until it calls putBuf.
+func getBuf(n int) []float64 {
+	if v := bufPool.Get(); v != nil {
+		p := v.(*[]float64)
+		b := *p
+		*p = nil
+		boxPool.Put(p)
+		if cap(b) >= n {
+			b = b[:n]
+			clear(b)
+			return b
+		}
+	}
+	return make([]float64, n)
+}
+
+// putBuf returns a buffer to the pool. The caller must not retain any
+// reference to it: pooled arrays are handed to later simulations,
+// possibly on other goroutines.
+func putBuf(b []float64) {
+	var p *[]float64
+	if v := boxPool.Get(); v != nil {
+		p = v.(*[]float64)
+	} else {
+		p = new([]float64)
+	}
+	*p = b
+	bufPool.Put(p)
+}

@@ -1,0 +1,246 @@
+package litho
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// RasterMask is a mask rasterized once and simulated many times: the
+// padded coverage grid is computed a single time and shared across
+// every kernel pass, focus-exposure condition, PV-band corner, and
+// verification call that looks at the same mask/window pair. Unit-dose
+// intensity fields are cached per |defocus| (the defocus broadening is
+// even in f), so a 9x5 focus-exposure matrix costs 9 convolution
+// stacks plus scalar threshold rescales rather than 45 simulations.
+//
+// A RasterMask is safe for concurrent use; simulations of the same
+// mask serialize on an internal lock.
+type RasterMask struct {
+	mask       []geom.Rect
+	window     geom.Rect
+	opt        tech.Optics
+	maxDefocus float64
+	padded     geom.Rect
+	pitch      float64
+	rW, rH     int
+
+	mu      sync.Mutex
+	raster  Grid // padded coverage raster; pooled buffer, Data nil until built or after Release
+	cache   map[float64]*Grid
+	caching bool
+}
+
+// NewRasterMask prepares the mask for repeated simulation inside the
+// window under any condition with |defocus| <= maxDefocus (the pad
+// must cover the widest kernel that will ever run on this raster).
+// Rasterization itself is deferred to the first simulation.
+func NewRasterMask(mask []geom.Rect, window geom.Rect, opt tech.Optics, maxDefocus float64) *RasterMask {
+	return newRasterMask(mask, window, opt, maxDefocus, true)
+}
+
+func newRasterMask(mask []geom.Rect, window geom.Rect, opt tech.Optics, maxDefocus float64, caching bool) *RasterMask {
+	maxDefocus = math.Abs(maxDefocus)
+	f := defocusFactor(opt, maxDefocus)
+	maxSigma := 0.0
+	for _, s := range opt.Sigmas {
+		if s*f > maxSigma {
+			maxSigma = s * f
+		}
+	}
+	pitch := opt.GridNM
+	if pitch <= 0 {
+		pitch = 1
+	}
+	// The pad is rounded up to whole pixels so the padded raster is
+	// pixel-registered with the window grid: cropping then lands on
+	// exact pixel boundaries instead of shifting the image by a
+	// (defocus-dependent) sub-pixel offset.
+	padPx := int64(math.Ceil(3 * maxSigma / pitch))
+	padNM := int64(math.Ceil(float64(padPx) * pitch))
+	rm := &RasterMask{
+		mask:       mask,
+		window:     window,
+		opt:        opt,
+		maxDefocus: maxDefocus,
+		padded:     window.Bloat(padNM),
+		pitch:      pitch,
+		caching:    caching,
+	}
+	rm.rW, rm.rH = gridDims(rm.padded, pitch)
+	if caching {
+		rm.cache = make(map[float64]*Grid)
+	}
+	return rm
+}
+
+// defocusFactor returns the kernel broadening sqrt(1+(f/F)^2) at the
+// given defocus; every sigma scales by it.
+func defocusFactor(opt tech.Optics, defocus float64) float64 {
+	if opt.DefocusScale <= 0 {
+		return 1
+	}
+	q := defocus / opt.DefocusScale
+	return math.Sqrt(1 + q*q)
+}
+
+// SimulateRaster computes the aerial image of the rasterized mask
+// under the given condition, equivalent to SimulateCtx on the same
+// mask/window but reusing the shared raster and the per-defocus
+// intensity cache. At unit dose the returned image shares the cached
+// intensity grid — callers must treat its Data as read-only (Clone the
+// grid before mutating); at other doses the grid is a fresh scaled
+// copy.
+func SimulateRaster(ctx context.Context, rm *RasterMask, cond Condition) (*Image, error) {
+	unit, err := rm.unitIntensity(ctx, cond.Defocus)
+	if err != nil {
+		return nil, err
+	}
+	if cond.Dose == 1 {
+		return &Image{Grid: unit, Threshold: rm.opt.Threshold, Cond: cond}, nil
+	}
+	out := &Grid{Origin: unit.Origin, Pitch: unit.Pitch, W: unit.W, H: unit.H, Data: make([]float64, len(unit.Data))}
+	for i, v := range unit.Data {
+		out.Data[i] = v * cond.Dose
+	}
+	return &Image{Grid: out, Threshold: rm.opt.Threshold, Cond: cond}, nil
+}
+
+// Release returns the padded raster to the shared buffer pool. The
+// RasterMask stays usable — the raster is rebuilt lazily on the next
+// simulation — and previously returned images remain valid (cached
+// intensity grids are never pooled).
+func (rm *RasterMask) Release() {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if rm.raster.Data != nil {
+		putBuf(rm.raster.Data)
+		rm.raster.Data = nil
+	}
+}
+
+// unitIntensity returns the dose-1 intensity field cropped to the
+// window at the given defocus, cached per |defocus| when the mask was
+// built with NewRasterMask. Ownership of the returned grid stays with
+// the cache when caching; otherwise it transfers to the caller.
+func (rm *RasterMask) unitIntensity(ctx context.Context, defocus float64) (*Grid, error) {
+	if a := math.Abs(defocus); a > rm.maxDefocus {
+		return nil, fmt.Errorf("litho: defocus %g exceeds RasterMask budget %g (pad too small)", a, rm.maxDefocus)
+	}
+	key := math.Abs(defocus)
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if g, ok := rm.cache[key]; ok {
+		return g, nil
+	}
+	g, err := rm.computeLocked(ctx, defocus)
+	if err != nil {
+		return nil, err
+	}
+	if rm.caching {
+		rm.cache[key] = g
+	}
+	return g, nil
+}
+
+// computeLocked runs the kernel stack on the shared raster: amplitude
+// A = sum_k w_k (G_sk * M) accumulated in pooled scratch grids, then
+// intensity I = A^2 cropped to the window. Called with rm.mu held.
+func (rm *RasterMask) computeLocked(ctx context.Context, defocus float64) (*Grid, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if rm.raster.Data == nil {
+		rm.raster = Grid{
+			Origin: rm.padded.LL(),
+			Pitch:  rm.pitch,
+			W:      rm.rW,
+			H:      rm.rH,
+			Data:   getBuf(rm.rW * rm.rH),
+		}
+		rm.raster.Rasterize(rm.mask)
+	}
+	f := defocusFactor(rm.opt, defocus)
+	var wsum float64
+	for _, w := range rm.opt.Weights {
+		wsum += w
+	}
+	if wsum == 0 {
+		wsum = 1
+	}
+	n := len(rm.raster.Data)
+	amp := getBuf(n)
+	tmp := getBuf(n)
+	defer putBuf(amp)
+	defer putBuf(tmp)
+	// One closure pair shared across the sigma loop: the per-pass kernel
+	// and weight travel through a single captured state rather than a
+	// fresh closure per kernel pass.
+	type passState struct {
+		kern   []float64
+		weight float64
+	}
+	var ps passState
+	src := rm.raster.Data
+	hPass := func(j0, j1 int) {
+		for j := j0; j < j1; j++ {
+			blurRowH(src[j*rm.rW:(j+1)*rm.rW], tmp[j*rm.rW:(j+1)*rm.rW], ps.kern)
+		}
+	}
+	vPass := func(j0, j1 int) {
+		blurVAccRows(tmp, amp, rm.rW, rm.rH, j0, j1, ps.kern, ps.weight)
+	}
+	for k, s := range rm.opt.Sigmas {
+		w := rm.opt.Weights[k] / wsum
+		sigmaPx := s * f / rm.pitch
+		if sigmaPx <= 0 {
+			for i, v := range src {
+				amp[i] += w * v
+			}
+			continue
+		}
+		ps.kern, ps.weight = gaussKernel(sigmaPx), w
+		if err := rowParallel(ctx, rm.rH, rm.rW, hPass); err != nil {
+			return nil, err
+		}
+		if err := rowParallel(ctx, rm.rH, rm.rW, vPass); err != nil {
+			return nil, err
+		}
+	}
+
+	// Crop the padding back off and square: I = A^2 at unit dose.
+	out := NewGrid(rm.window, rm.opt.GridNM)
+	di := int(math.Round(float64(rm.window.X0-rm.padded.X0) / out.Pitch))
+	dj := int(math.Round(float64(rm.window.Y0-rm.padded.Y0) / out.Pitch))
+	for j := 0; j < out.H; j++ {
+		jj := j + dj
+		row := out.Data[j*out.W : (j+1)*out.W]
+		for i := range row {
+			ii := i + di
+			var a float64
+			if ii >= 0 && jj >= 0 && ii < rm.rW && jj < rm.rH {
+				a = amp[jj*rm.rW+ii]
+			}
+			row[i] = a * a
+		}
+	}
+	return out, nil
+}
+
+// withDose returns a measurement-equivalent view of the image at
+// relative dose d: the grid is shared (and keeps the source image's
+// intensity scaling) while the threshold is rescaled by Cond.Dose/d,
+// so every threshold-relative measurement — PrintsAt, CDAt, EPEAt,
+// hotspots, printed contours — matches a full re-simulation at dose d
+// exactly. The view's Data must not be mutated.
+func (im *Image) withDose(d float64) *Image {
+	return &Image{
+		Grid:      im.Grid,
+		Threshold: im.Threshold * im.Cond.Dose / d,
+		Cond:      Condition{Defocus: im.Cond.Defocus, Dose: d},
+	}
+}

@@ -32,8 +32,10 @@ type FEPoint struct {
 
 // FEMatrix simulates a focus-exposure matrix: the CD of the feature at
 // (x, y) (measured along x when horizontal) across the defocus and
-// dose lists. The mask is simulated once per condition within the
-// window.
+// dose lists. The mask is rasterized once and simulated once per
+// defocus; dose enters the intensity as a pure scale factor
+// (I = A^2 * dose), so the dose axis of the matrix costs scalar
+// threshold rescales rather than re-simulation.
 func FEMatrix(mask []geom.Rect, window geom.Rect, opt tech.Optics,
 	x, y float64, horizontal bool, spec CDSpec,
 	defocus, dose []float64) []FEPoint {
@@ -41,21 +43,41 @@ func FEMatrix(mask []geom.Rect, window geom.Rect, opt tech.Optics,
 	return pts
 }
 
-// FEMatrixCtx is FEMatrix with a cancellation checkpoint per
-// focus-exposure condition; on cancellation it returns the points
-// sampled so far alongside the context error.
+// FEMatrixCtx is FEMatrix with a cancellation checkpoint per defocus
+// condition; on cancellation it returns the points sampled so far
+// alongside the context error.
 func FEMatrixCtx(ctx context.Context, mask []geom.Rect, window geom.Rect, opt tech.Optics,
+	x, y float64, horizontal bool, spec CDSpec,
+	defocus, dose []float64) ([]FEPoint, error) {
+
+	maxF := 0.0
+	for _, f := range defocus {
+		if a := math.Abs(f); a > maxF {
+			maxF = a
+		}
+	}
+	rm := NewRasterMask(mask, window, opt, maxF)
+	defer rm.Release()
+	return FEMatrixRaster(ctx, rm, x, y, horizontal, spec, defocus, dose)
+}
+
+// FEMatrixRaster is FEMatrixCtx over an existing RasterMask, for
+// callers that interleave a focus-exposure sweep with other
+// simulations of the same mask: every condition in the sweep lands in
+// the mask's intensity cache. The RasterMask must have been built with
+// maxDefocus covering the defocus list.
+func FEMatrixRaster(ctx context.Context, rm *RasterMask,
 	x, y float64, horizontal bool, spec CDSpec,
 	defocus, dose []float64) ([]FEPoint, error) {
 
 	out := make([]FEPoint, 0, len(defocus)*len(dose))
 	for _, f := range defocus {
+		img, err := SimulateRaster(ctx, rm, Condition{Defocus: f, Dose: 1})
+		if err != nil {
+			return out, err
+		}
 		for _, d := range dose {
-			img, err := SimulateCtx(ctx, mask, window, opt, Condition{Defocus: f, Dose: d})
-			if err != nil {
-				return out, err
-			}
-			cd, ok := img.CDAt(x, y, horizontal)
+			cd, ok := img.withDose(d).CDAt(x, y, horizontal)
 			p := FEPoint{Cond: Condition{Defocus: f, Dose: d}, CD: cd}
 			p.OK = ok && spec.InSpec(cd)
 			out = append(out, p)
@@ -129,16 +151,27 @@ func ComputePVBand(mask []geom.Rect, window geom.Rect, opt tech.Optics, corners 
 }
 
 // ComputePVBandCtx is ComputePVBand with a cancellation checkpoint
-// per corner condition.
+// per corner condition. The mask is rasterized once and shared across
+// corners; dose-only corners reuse the focus corner's intensity field
+// with a rescaled threshold, so the standard 5-corner set costs two
+// convolution stacks, not five simulations.
 func ComputePVBandCtx(ctx context.Context, mask []geom.Rect, window geom.Rect, opt tech.Optics, corners []Condition) (PVBand, error) {
 	var pv PVBand
+	maxF := 0.0
+	for _, c := range corners {
+		if a := math.Abs(c.Defocus); a > maxF {
+			maxF = a
+		}
+	}
+	rm := NewRasterMask(mask, window, opt, maxF)
+	defer rm.Release()
 	var always, ever *Bitmap
 	for _, c := range corners {
-		img, err := SimulateCtx(ctx, mask, window, opt, c)
+		img, err := SimulateRaster(ctx, rm, Condition{Defocus: c.Defocus, Dose: 1})
 		if err != nil {
 			return pv, err
 		}
-		b := img.PrintedBitmap()
+		b := img.withDose(c.Dose).PrintedBitmap()
 		if always == nil {
 			always, ever = b.clone(), b.clone()
 			continue

@@ -1,6 +1,7 @@
 package opc
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/geom"
@@ -54,13 +55,24 @@ func ProcessWindowOPC(drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo M
 		wsum = 1
 	}
 
+	maxF := 0.0
+	for _, c := range corners {
+		if a := math.Abs(c.Cond.Defocus); a > maxF {
+			maxF = a
+		}
+	}
+	ctx := context.Background()
 	for it := 0; it <= mo.Iterations; it++ {
 		mask := ApplyBias(drawn, frags)
-		// Simulate every corner once per iteration.
+		// The mask changes every iteration, but within an iteration all
+		// corners share one rasterization, and corners that differ only
+		// in dose share the convolution result too.
+		rm := litho.NewRasterMask(mask, window, opt, maxF)
 		imgs := make([]*litho.Image, len(corners))
 		for k, c := range corners {
-			imgs[k] = litho.Simulate(mask, window, opt, c.Cond)
+			imgs[k], _ = litho.SimulateRaster(ctx, rm, c.Cond)
 		}
+		rm.Release()
 		rms := make([]float64, len(corners))
 		sq := make([]float64, len(corners))
 		for _, f := range frags {

@@ -7,6 +7,9 @@
 # the slow full-scorecard experiments.
 
 GO ?= go
+# Benchmark record for the current PR; override to compare against an
+# older record, e.g. `make bench BENCH_OUT=BENCH_PR2.json`.
+BENCH_OUT ?= BENCH_PR3.json
 
 .PHONY: tier1 check build vet test race-fast bench fmt-check
 
@@ -37,5 +40,5 @@ test:
 race-fast: ## race pass skipping the slow full-scorecard experiments
 	$(GO) test -race -short ./...
 
-bench: ## run the tier-1 benchmark set and record BENCH_PR2.json
-	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+bench: ## run the tier-1 benchmark set and record $(BENCH_OUT)
+	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/litho"
 	"repro/internal/metrology"
+	"repro/internal/obs"
 	"repro/internal/opc"
 	"repro/internal/pattern"
 	"repro/internal/sta"
@@ -379,6 +380,29 @@ func BenchmarkDRCBlock(b *testing.B) {
 
 // BenchmarkLithoSimulate times one aerial-image tile.
 func BenchmarkLithoSimulate(b *testing.B) {
+	t := tech.N45()
+	cell := layout.LineSpace(t, tech.Metal1, 70, 70, 3000, 12)
+	rs := cell.LayerRects(tech.Metal1)
+	window := geom.R(0, 0, 2000, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img := litho.Simulate(rs, window, t.Optics, litho.Nominal)
+		if img.Max() <= 0 {
+			b.Fatal("empty image")
+		}
+	}
+}
+
+// BenchmarkLithoSimulateObs is BenchmarkLithoSimulate with the
+// metrics registry recording. Comparing the pair bounds the cost of
+// the instrumentation when a sink is attached; the disabled cost is
+// the delta between BenchmarkLithoSimulate before and after the obs
+// layer landed (<2% — the disabled path is one atomic load + branch
+// per instrument site).
+func BenchmarkLithoSimulateObs(b *testing.B) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
 	t := tech.N45()
 	cell := layout.LineSpace(t, tech.Metal1, 70, 70, 3000, 12)
 	rs := cell.LayerRects(tech.Metal1)

@@ -2,7 +2,8 @@
 // stdin into a JSON benchmark record, for the regression harness
 // behind `make bench`. The raw input passes through to stdout
 // unchanged so the tool can sit at the end of a pipe without hiding
-// the live benchmark progress.
+// the live benchmark progress; the JSON report goes to the -o file,
+// or follows the passthrough on stdout when -o is not given.
 //
 // Usage:
 //
@@ -14,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -44,15 +46,26 @@ type Report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("o", "", "write the JSON report to this file (default stdout only)")
+	out := flag.String("o", "", "write the JSON report to this file (default: append to stdout)")
 	flag.Parse()
 
+	if err := run(os.Stdin, os.Stdout, os.Stderr, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses benchmark output from in, echoing every line to stdout,
+// then emits the JSON report: to the outPath file when set, otherwise
+// to stdout after the passthrough (so the record survives even when
+// nobody remembered -o).
+func run(in io.Reader, stdout, stderr io.Writer, outPath string) error {
 	var rep Report
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 		switch {
 		case strings.HasPrefix(line, "goos:"):
 			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
@@ -79,24 +92,23 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, r)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
-		os.Exit(1)
+		return fmt.Errorf("read: %w", err)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
-		return
+	if outPath == "" {
+		_, err := stdout.Write(enc)
+		return err
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	fmt.Fprintf(stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), outPath)
+	return nil
 }
 
 // trimProcSuffix drops the -N GOMAXPROCS suffix so records compare

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkLithoSimulate-8   	      20	  75973335 ns/op	 1926063 B/op	      10 allocs/op
+BenchmarkOPCModel-8        	       5	 212000000 ns/op
+PASS
+ok  	repro	4.2s
+`
+
+// The regression that motivated this test: with no -o the marshaled
+// report was silently discarded, so `make bench` pipes that forgot
+// the flag recorded nothing. The report must now follow the
+// passthrough on stdout.
+func TestRunNoOutputFileEmitsJSON(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run(strings.NewReader(sampleBench), &stdout, &stderr, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := stdout.String()
+	if !strings.HasPrefix(got, sampleBench) {
+		t.Fatalf("passthrough mangled; got:\n%s", got)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(got[len(sampleBench):]), &rep); err != nil {
+		t.Fatalf("stdout after passthrough is not the JSON report: %v", err)
+	}
+	checkReport(t, rep)
+}
+
+func TestRunWritesOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr strings.Builder
+	if err := run(strings.NewReader(sampleBench), &stdout, &stderr, path); err != nil {
+		t.Fatal(err)
+	}
+	if got := stdout.String(); got != sampleBench {
+		t.Fatalf("with -o, stdout must be the bare passthrough; got:\n%s", got)
+	}
+	if !strings.Contains(stderr.String(), "wrote 2 benchmarks") {
+		t.Fatalf("missing confirmation on stderr: %q", stderr.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep)
+}
+
+func checkReport(t *testing.T, rep Report) {
+	t.Helper()
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Package != "repro" {
+		t.Fatalf("header not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkLithoSimulate" || b0.Iterations != 20 ||
+		b0.NsPerOp != 75973335 || b0.BytesPerOp != 1926063 || b0.AllocsPerOp != 10 {
+		t.Fatalf("bad first result: %+v", b0)
+	}
+	b1 := rep.Benchmarks[1]
+	if b1.Name != "BenchmarkOPCModel" || b1.BytesPerOp != -1 || b1.AllocsPerOp != -1 {
+		t.Fatalf("bad second result (benchmem fields must default to -1): %+v", b1)
+	}
+}

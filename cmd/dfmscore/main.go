@@ -12,7 +12,11 @@
 //
 // Usage:
 //
-//	dfmscore [-seed N] [-detail] [-json] [-parallel N] [-timeout D] [-retries N]
+//	dfmscore [-seed N] [-detail] [-json] [-parallel N] [-timeout D] [-retries N] [-metrics FILE]
+//
+// -metrics enables the observability registry for the run and writes
+// its JSON snapshot (harness, litho, OPC, and per-technique stage
+// metrics) to FILE, with "-" meaning stdout.
 //
 // Exit status is 1 when any technique reports an error, in both
 // table and JSON modes.
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/dfm"
+	"repro/internal/obs"
 	"repro/internal/tech"
 )
 
@@ -38,7 +43,12 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent technique evaluations (1 = sequential)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-technique wall-clock budget (0 = none)")
 	retries := flag.Int("retries", 1, "extra attempts for retryable workload failures")
+	metrics := flag.String("metrics", "", "write the run's metrics snapshot to this file (\"-\" = stdout)")
 	flag.Parse()
+
+	if *metrics != "" {
+		obs.SetEnabled(true)
+	}
 
 	// Ctrl-C cancels the run; in-flight techniques stop at their next
 	// cancellation checkpoint and report as canceled.
@@ -72,6 +82,13 @@ func main() {
 		}
 		hit, marg, hype := sc.Hits()
 		fmt.Printf("verdicts: %d hit, %d marginal, %d hype\n", hit, marg, hype)
+	}
+
+	if *metrics != "" {
+		if err := obs.DumpDefault(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "dfmscore:", err)
+			os.Exit(1)
+		}
 	}
 
 	// One exit policy for every output mode: any technique error

@@ -7,6 +7,10 @@
 //
 //	lithosim [-layer metal1] [-defocus 0] [-dose 1.0] layout.txt
 //	lithosim -lines -w 70 -s 70 -n 7        (line/space test pattern)
+//
+// -metrics FILE enables the observability registry and writes its
+// JSON snapshot (raster-cache hits/misses, blur passes, buffer-pool
+// and row-dispatch counters) to FILE at exit, "-" meaning stdout.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/litho"
 	"repro/internal/metrology"
+	"repro/internal/obs"
 	"repro/internal/tech"
 )
 
@@ -35,7 +40,17 @@ func main() {
 	metro := flag.Bool("metro", false, "generate and execute a design-driven metrology plan")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	metrics := flag.String("metrics", "", "write the metrics snapshot to this file at exit (\"-\" = stdout)")
 	flag.Parse()
+
+	if *metrics != "" {
+		obs.SetEnabled(true)
+		defer func() {
+			if err := obs.DumpDefault(*metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "lithosim:", err)
+			}
+		}()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

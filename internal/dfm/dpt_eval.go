@@ -24,16 +24,19 @@ func EvalDPT(ctx context.Context, t *tech.Tech, opts layout.BlockOpts) (o Outcom
 		o.Err = err
 		return o
 	}
+	sp := stage("dpt-decomposition", "workload")
 	l, err := layout.GenerateBlock(t, opts)
 	if err != nil {
 		o.Err = harness.Workload(err)
 		return o
 	}
 	m2 := layout.ByLayer(l.Flatten())[tech.Metal2]
+	sp.End()
 	// The constraint: features closer than 1.7x the drawn minimum must
 	// split across masks — the pitch a 0.7x shrink would produce.
 	sameMask := t.Rules[tech.Metal2].MinSpace * 17 / 10
 
+	sp = stage("dpt-decomposition", "decompose")
 	plain := dpt.Decompose(m2, sameMask, false, 0)
 	if err := ctx.Err(); err != nil {
 		o.Err = err
@@ -41,6 +44,7 @@ func EvalDPT(ctx context.Context, t *tech.Tech, opts layout.BlockOpts) (o Outcom
 	}
 	stitched := dpt.Decompose(m2, sameMask, true, 40)
 	sStitched := stitched.ScoreDecomposition(40)
+	sp.End()
 
 	// The problem DPT solves: every sub-single-exposure adjacency is
 	// unprintable in one exposure. "Before" is the full problem size;

@@ -1,0 +1,11 @@
+package dfm
+
+import "repro/internal/obs"
+
+// stage times one named phase of a technique evaluator under
+// "dfm.<technique>.<stage>.ns". The returned span is a no-op (and the
+// name lookup is skipped entirely) while the metrics registry is off,
+// so evaluators can call it unconditionally.
+func stage(technique, name string) obs.Span {
+	return obs.StartSpan("dfm." + technique + "." + name + ".ns")
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/litho"
+	"repro/internal/obs"
 	"repro/internal/opc"
 	"repro/internal/pattern"
 	"repro/internal/sta"
@@ -38,10 +39,14 @@ import (
 const FullChipVias = 1e8
 
 // track stamps the outcome's runtime when the evaluator returns,
-// including early error returns.
+// including early error returns, and feeds it to the per-technique
+// wall-clock histogram.
 func track(o *Outcome) func() {
 	start := time.Now()
-	return func() { o.Runtime = time.Since(start) }
+	return func() {
+		o.Runtime = time.Since(start)
+		obs.ObserveNS("dfm."+o.Technique+".total.ns", o.Runtime)
+	}
 }
 
 // EvalRedundantVia measures the via-yield movement of double-via
@@ -53,13 +58,17 @@ func EvalRedundantVia(ctx context.Context, t *tech.Tech, opts layout.BlockOpts) 
 		o.Err = err
 		return o
 	}
+	sp := stage("redundant-via", "workload")
 	l, err := layout.GenerateBlock(t, opts)
 	if err != nil {
 		o.Err = harness.Workload(err)
 		return o
 	}
 	flat := l.Flatten()
+	sp.End()
+	sp = stage("redundant-via", "insert")
 	g := dvia.EvaluateInsertion(flat, t)
+	sp.End()
 
 	nb := g.SinglesBefore + 2*g.PairsBefore
 	na := g.SinglesAfter + 2*g.PairsAfter
@@ -103,12 +112,14 @@ func EvalDummyFill(ctx context.Context, t *tech.Tech, opts layout.BlockOpts) (o 
 		o.Err = err
 		return o
 	}
+	sp := stage("dummy-fill", "workload")
 	l, err := layout.GenerateBlock(t, opts)
 	if err != nil {
 		o.Err = harness.Workload(err)
 		return o
 	}
 	flat := l.Flatten()
+	sp.End()
 	// Die-level view: the placed block sits inside a die with empty
 	// margin — the density cliff CMP fill exists to flatten.
 	m1 := layout.ByLayer(flat)[tech.Metal1]
@@ -116,13 +127,19 @@ func EvalDummyFill(ctx context.Context, t *tech.Tech, opts layout.BlockOpts) (o 
 	fo := fill.DefaultOpts()
 	fo.Window, fo.Step = 3000, 1500
 
+	sp = stage("dummy-fill", "analyze")
 	before := fill.Analyze(m1, extent, fo.Window, fo.Step)
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		o.Err = err
 		return o
 	}
+	sp = stage("dummy-fill", "synthesize")
 	tiles := fill.Synthesize(m1, extent, fo)
+	sp.End()
+	sp = stage("dummy-fill", "analyze")
 	after := fill.Analyze(append(append([]geom.Rect{}, m1...), tiles...), extent, fo.Window, fo.Step)
+	sp.End()
 	cmp := fill.DefaultCMP()
 
 	bs, as := before.Summarize(), after.Summarize()
@@ -166,22 +183,28 @@ func EvalOPCAccuracy(ctx context.Context, t *tech.Tech) (o Outcome) {
 		}
 		return litho.SummarizeEPE(img.MeasureEPE(drawn, 150)).RMS, nil
 	}
+	sp := stage("model-opc", "baseline")
 	none, err := rms(drawn)
+	sp.End()
 	if err != nil {
 		o.Err = err
 		return o
 	}
+	sp = stage("model-opc", "rule-opc")
 	rule, err := rms(opc.RuleBased(drawn, opc.DefaultRuleOpts()))
+	sp.End()
 	if err != nil {
 		o.Err = err
 		return o
 	}
+	sp = stage("model-opc", "model-opc")
 	mres, err := opc.ModelBasedCtx(ctx, drawn, window, t.Optics, opc.DefaultModelOpts())
 	if err != nil {
 		o.Err = err
 		return o
 	}
 	model, err := rms(mres.Mask)
+	sp.End()
 	if err != nil {
 		o.Err = err
 		return o
@@ -242,12 +265,16 @@ func EvalSRAF(ctx context.Context, t *tech.Tech) (o Outcome) {
 		return dof, math.Abs(cd0 - cdF), nil
 	}
 	bare := geom.Normalize(drawn)
+	sp := stage("sraf", "bare")
 	dofB, dB, err := measure(bare)
+	sp.End()
 	if err != nil {
 		o.Err = err
 		return o
 	}
+	sp = stage("sraf", "sraf")
 	dofS, dS, err := measure(opc.WithSRAF(bare, opc.DefaultSRAFOpts()))
+	sp.End()
 	if err != nil {
 		o.Err = err
 		return o
@@ -291,12 +318,14 @@ func EvalDRCPlus(ctx context.Context, t *tech.Tech, trainSeed, testSeed int64) (
 		return m1, hs, nil
 	}
 
+	sp := stage("drc-plus", "workload")
 	trainM1, trainHS, err := makeM1(trainSeed)
 	if err != nil {
 		o.Err = err
 		return o
 	}
 	testM1, testHS, err := makeM1(testSeed)
+	sp.End()
 	if err != nil {
 		o.Err = err
 		return o
@@ -310,6 +339,7 @@ func EvalDRCPlus(ctx context.Context, t *tech.Tech, trainSeed, testSeed int64) (
 
 	// Train: extract a pattern at the geometry corner nearest each
 	// training hotspot.
+	sp = stage("drc-plus", "train")
 	const radius = 200
 	matcher := pattern.NewMatcher(radius)
 	ix := geom.NewIndex(4 * radius)
@@ -331,12 +361,15 @@ func EvalDRCPlus(ctx context.Context, t *tech.Tech, trainSeed, testSeed int64) (
 		})
 	}
 
+	sp.End()
+
 	if err := ctx.Err(); err != nil {
 		o.Err = err
 		return o
 	}
 
 	// Plain-DRC baseline capture on the test design.
+	sp = stage("drc-plus", "drc-baseline")
 	deck := drc.StandardDeck(t)
 	res := deck.Run(drc.NewContext(t, shapesOf(testM1)))
 	drcCaught := 0
@@ -348,8 +381,10 @@ func EvalDRCPlus(ctx context.Context, t *tech.Tech, trainSeed, testSeed int64) (
 			}
 		}
 	}
+	sp.End()
 
 	// Pattern capture.
+	sp = stage("drc-plus", "pattern-scan")
 	matches := matcher.ScanLayer(testM1)
 	patCaught := 0
 	for _, h := range testHS {
@@ -361,6 +396,7 @@ func EvalDRCPlus(ctx context.Context, t *tech.Tech, trainSeed, testSeed int64) (
 			}
 		}
 	}
+	sp.End()
 
 	n := float64(len(testHS))
 	o.Metrics = []Metric{
@@ -475,16 +511,22 @@ func EvalLithoTiming(ctx context.Context, t *tech.Tech, netSeed int64) (o Outcom
 	nl := circuit.RandomLogic(10, 14, 16, netSeed)
 	lib := sta.DefaultLib()
 
+	sp := stage("litho-aware-timing", "sta-drawn")
 	drawn := sta.Analyze(nl, lib, sta.Lengths{}, 0)
+	sp.End()
 	period := drawn.Arrival[drawn.Critical[len(drawn.Critical)-1]]
 
+	sp = stage("litho-aware-timing", "extract")
 	gl, err := ExtractGateLengths(ctx, t, litho.Nominal, true)
+	sp.End()
 	if err != nil {
 		o.Err = err
 		return o
 	}
 	lens := sta.TypeLengths(nl, gl.Delay, gl.Leak)
+	sp = stage("litho-aware-timing", "sta-silicon")
 	silicon := sta.Analyze(nl, lib, lens, period)
+	sp.End()
 
 	slackErr := math.Abs(silicon.WNS) / period
 	rankDist := sta.RankDistance(sta.PathRank(nl, drawn), sta.PathRank(nl, silicon))
@@ -519,7 +561,9 @@ func EvalRestrictedRules(ctx context.Context, t *tech.Tech) (o Outcome) {
 		}
 		return a
 	}
+	sp := stage("restricted-rules", "area")
 	aBase, aRestr := areaOf(base), areaOf(restr)
+	sp.End()
 
 	// Printability: PV band area fraction of metal1 line/space at each
 	// node's minimum pitch — the dimension the restricted rules relax.
@@ -538,12 +582,14 @@ func EvalRestrictedRules(ctx context.Context, t *tech.Tech) (o Outcome) {
 		}
 		return 0, nil
 	}
+	sp = stage("restricted-rules", "pvband")
 	bBase, err := bandFrac(base)
 	if err != nil {
 		o.Err = err
 		return o
 	}
 	bRestr, err := bandFrac(restr)
+	sp.End()
 	if err != nil {
 		o.Err = err
 		return o
@@ -576,12 +622,14 @@ func EvalRestrictedRules(ctx context.Context, t *tech.Tech) (o Outcome) {
 		}
 		return math.Abs(cd0 - cdF), nil
 	}
+	sp = stage("restricted-rules", "cdloss")
 	cBase, err := cdLoss(base)
 	if err != nil {
 		o.Err = err
 		return o
 	}
 	cRestr, err := cdLoss(restr)
+	sp.End()
 	if err != nil {
 		o.Err = err
 		return o

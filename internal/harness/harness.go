@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Task is one unit of work: a named evaluator. Run receives the
@@ -79,6 +81,15 @@ func Run(ctx context.Context, tasks []Task, opts Options) []Result {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	// Queue wait: time from dispatch start until a worker picks the
+	// task up — the pool-saturation signal. The clock is only read
+	// while the metrics registry is recording.
+	metered := obs.Enabled()
+	var dispatchStart time.Time
+	if metered {
+		obs.G("harness.pool.workers").Set(float64(workers))
+		dispatchStart = time.Now()
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -86,6 +97,9 @@ func Run(ctx context.Context, tasks []Task, opts Options) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if metered {
+					hQueueWait.ObserveSince(dispatchStart)
+				}
 				results[i] = runTask(ctx, tasks[i], opts)
 			}
 		}()
@@ -116,6 +130,7 @@ func runTask(ctx context.Context, t Task, opts Options) Result {
 	}
 	res.Err = annotate(res.Err, t.Name, res.Attempts)
 	res.Runtime = time.Since(start)
+	recordTask(t.Name, res)
 	return res
 }
 
@@ -151,6 +166,8 @@ func runAttempt(ctx context.Context, t Task, attempt int, opts Options) (any, er
 	}
 	defer cancel()
 
+	hadDeadline := timeout > 0
+
 	ch := make(chan attemptResult, 1) // buffered: abandoned attempts must not leak forever
 	go func() {
 		defer func() {
@@ -164,12 +181,12 @@ func runAttempt(ctx context.Context, t Task, attempt int, opts Options) (any, er
 		}()
 		if opts.Hook != nil {
 			if err := opts.Hook(actx, t.Name, attempt); err != nil {
-				ch <- attemptResult{err: classify(ctx, err)}
+				ch <- attemptResult{err: classify(ctx, hadDeadline, err)}
 				return
 			}
 		}
 		v, err := t.Run(actx, attempt)
-		ch <- attemptResult{v: v, err: classify(ctx, err)}
+		ch <- attemptResult{v: v, err: classify(ctx, hadDeadline, err)}
 	}()
 
 	select {
@@ -179,14 +196,15 @@ func runAttempt(ctx context.Context, t Task, attempt int, opts Options) (any, er
 		// The evaluator missed its deadline (or the run was
 		// canceled). Abandon the attempt; the goroutine exits on its
 		// own at its next checkpoint or completion.
-		return nil, classify(ctx, actx.Err())
+		return nil, classify(ctx, hadDeadline, actx.Err())
 	}
 }
 
 // classify maps raw errors into the taxonomy. parent is the caller's
 // context, used to tell a per-attempt deadline (timeout) from a
-// whole-run cancellation. Already-classified errors pass through.
-func classify(parent context.Context, err error) error {
+// whole-run cancellation; hadDeadline reports whether this attempt
+// actually ran under one. Already-classified errors pass through.
+func classify(parent context.Context, hadDeadline bool, err error) error {
 	if err == nil {
 		return nil
 	}
@@ -199,11 +217,17 @@ func classify(parent context.Context, err error) error {
 		return &Error{Kind: KindCanceled, Err: err}
 	case errors.Is(err, context.DeadlineExceeded):
 		return &Error{Kind: KindTimeout, Err: err}
-	case errors.Is(err, context.Canceled):
-		// The attempt context was canceled but the parent is live:
-		// the deadline path canceled it, treat as timeout.
+	case errors.Is(err, context.Canceled) && hadDeadline:
+		// The attempt context was canceled but the parent is live and
+		// a deadline existed: the deadline path canceled it, treat as
+		// timeout.
 		return &Error{Kind: KindTimeout, Err: err}
 	default:
+		// Includes context.Canceled from an evaluator that ran with no
+		// attempt deadline under a live parent: that cancellation is
+		// the evaluator's own (a wrapped sub-context, a library's
+		// sentinel reuse), not a harness timeout — pass it through
+		// unclassified.
 		return err
 	}
 }

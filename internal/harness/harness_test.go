@@ -303,3 +303,71 @@ func TestErrorTaxonomyMatching(t *testing.T) {
 		t.Errorf("wrapped workload error not retryable")
 	}
 }
+
+func TestClassifyDeadlineSensitive(t *testing.T) {
+	live := context.Background()
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	wrapped := fmt.Errorf("stage 3: %w", context.Canceled)
+
+	cases := []struct {
+		name        string
+		parent      context.Context
+		hadDeadline bool
+		err         error
+		want        Kind
+	}{
+		// The regression: an evaluator returning its own
+		// context.Canceled with no attempt deadline and a live parent
+		// must NOT be reported as a harness timeout.
+		{"evaluator canceled, no deadline", live, false, context.Canceled, KindNone},
+		{"evaluator canceled wrapped, no deadline", live, false, wrapped, KindNone},
+		// With a deadline the attempt context is the only cancel
+		// source, so Canceled means the deadline path fired.
+		{"canceled under deadline", live, true, context.Canceled, KindTimeout},
+		{"deadline exceeded", live, true, context.DeadlineExceeded, KindTimeout},
+		// DeadlineExceeded without a harness deadline is still a
+		// timeout: the evaluator ran out of its own clock.
+		{"deadline exceeded, no harness deadline", live, false, context.DeadlineExceeded, KindTimeout},
+		// A dead parent wins over everything: whole-run cancellation.
+		{"parent canceled", dead, true, context.Canceled, KindCanceled},
+		{"parent canceled, plain error", dead, false, errors.New("x"), KindCanceled},
+		// Plain errors pass through untouched.
+		{"plain error", live, true, errors.New("x"), KindNone},
+		{"nil error", live, true, nil, KindNone},
+		// Already-classified errors keep their kind.
+		{"pre-classified panic", live, true, &Error{Kind: KindPanic}, KindPanic},
+	}
+	for _, c := range cases {
+		got := classify(c.parent, c.hadDeadline, c.err)
+		if c.err == nil {
+			if got != nil {
+				t.Errorf("%s: classify(nil) = %v", c.name, got)
+			}
+			continue
+		}
+		if KindOf(got) != c.want {
+			t.Errorf("%s: kind = %v, want %v", c.name, KindOf(got), c.want)
+		}
+		if c.want == KindNone && !errors.Is(got, c.err) {
+			t.Errorf("%s: unclassified error was rewritten: %v", c.name, got)
+		}
+	}
+}
+
+func TestEvaluatorCanceledNoTimeoutNotATimeout(t *testing.T) {
+	// End-to-end version of the regression: no Options.Timeout, live
+	// parent, evaluator returns context.Canceled from its own
+	// sub-context. The result must not claim a harness timeout.
+	res := Run(context.Background(), []Task{{
+		Name: "self-cancel",
+		Run: func(ctx context.Context, attempt int) (any, error) {
+			sub, cancel := context.WithCancel(ctx)
+			cancel()
+			return nil, sub.Err()
+		},
+	}}, Options{})
+	if err := res[0].Err; KindOf(err) == KindTimeout {
+		t.Fatalf("evaluator-owned cancellation reported as timeout: %v", err)
+	}
+}

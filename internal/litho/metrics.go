@@ -1,0 +1,46 @@
+package litho
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Kernel instrumentation. Every counter here sits on a per-call (not
+// per-pixel) path, and each records through a cached pointer whose
+// disabled fast path is a single atomic load — see internal/obs.
+var (
+	// Raster-cache accounting: one hit or miss per simulation request
+	// against a RasterMask (a miss is a convolution stack actually
+	// run, including the uncached SimulateCtx path). The per-|defocus|
+	// split is recorded under "litho.raster.cache.{hit,miss}|f=<nm>".
+	cRasterHit  = obs.C("litho.raster.cache.hit")
+	cRasterMiss = obs.C("litho.raster.cache.miss")
+
+	// Pooled-buffer accounting: reuse = served from the pool, alloc =
+	// fresh make (pool empty or pooled array too small).
+	cPoolReuse = obs.C("litho.pool.reuse")
+	cPoolAlloc = obs.C("litho.pool.alloc")
+
+	// Row-dispatch accounting: grid rows processed through the
+	// persistent worker pool vs inline on the calling goroutine.
+	cRowsParallel = obs.C("litho.rows.parallel")
+	cRowsInline   = obs.C("litho.rows.inline")
+
+	// Separable blur passes run (one horizontal+vertical pair per
+	// kernel sigma per simulated field).
+	cBlurPasses = obs.C("litho.blur.passes")
+
+	// Convolution-stack latency (cache misses only; hits cost a map
+	// lookup).
+	hSimulateNS = obs.H("litho.simulate.ns")
+)
+
+// countPerDefocus records the per-|defocus| split of a cache hit or
+// miss. The formatted name lookup only happens while recording is on.
+func countPerDefocus(base string, f float64) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.C(fmt.Sprintf("%s|f=%g", base, f)).Inc()
+}

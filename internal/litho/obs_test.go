@@ -1,0 +1,101 @@
+package litho
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/tech"
+)
+
+// withObs enables the default metrics registry for one test and
+// restores the prior state afterwards. Counter values persist across
+// tests, so assertions below work on snapshot deltas, never absolutes.
+func withObs(t *testing.T) {
+	t.Helper()
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(prev) })
+}
+
+func cacheCounts() (hit, miss int64) {
+	s := obs.Default().Snapshot()
+	return s.Counters["litho.raster.cache.hit"], s.Counters["litho.raster.cache.miss"]
+}
+
+// The acceptance criterion from the issue: a 9x5 focus-exposure
+// matrix is 45 simulation requests of which exactly 9 (one per
+// defocus) run the convolution stack; the other 36 are dose rescales
+// served from the per-defocus intensity cache.
+func TestFEMatrixCacheAccounting(t *testing.T) {
+	withObs(t)
+	tt := tech.N45()
+	mask := []geom.Rect{geom.R(0, 0, 70, 3000)}
+	window := geom.R(-300, 1200, 400, 1800)
+	defocus := []float64{0, 20, 40, 60, 80, 100, 120, 140, 160}
+	dose := []float64{0.92, 0.96, 1.0, 1.04, 1.08}
+
+	rm := NewRasterMask(mask, window, tt.Optics, defocus[len(defocus)-1])
+	defer rm.Release()
+
+	hit0, miss0 := cacheCounts()
+	pts, err := FEMatrixRaster(context.Background(), rm, 35, 1500, true,
+		CDSpec{Target: 70, Tol: 0.10}, defocus, dose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(defocus)*len(dose) {
+		t.Fatalf("matrix size = %d, want %d", len(pts), len(defocus)*len(dose))
+	}
+	hit1, miss1 := cacheCounts()
+	if miss1-miss0 != 9 {
+		t.Errorf("cache misses = %d, want 9 (one per defocus)", miss1-miss0)
+	}
+	if hit1-hit0 != 36 {
+		t.Errorf("cache hits = %d, want 36 (dose rescales)", hit1-hit0)
+	}
+}
+
+// Concurrent SimulateRaster calls on one shared mask must keep the
+// hit/miss counters consistent: every request is accounted exactly
+// once, and each distinct |defocus| computes exactly once no matter
+// how many goroutines race for it. Run under -race via make tier1.
+func TestConcurrentSimulateRasterCounters(t *testing.T) {
+	withObs(t)
+	tt := tech.N45()
+	mask := []geom.Rect{geom.R(0, 0, 70, 2000), geom.R(140, 0, 210, 2000)}
+	window := geom.R(-200, 400, 400, 1600)
+	defocus := []float64{0, 40, 80, 120}
+	const goroutines = 8
+
+	rm := NewRasterMask(mask, window, tt.Optics, 120)
+	defer rm.Release()
+
+	hit0, miss0 := cacheCounts()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, f := range defocus {
+				if _, err := SimulateRaster(context.Background(), rm, Condition{Defocus: f, Dose: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hit1, miss1 := cacheCounts()
+
+	misses := miss1 - miss0
+	hits := hit1 - hit0
+	if misses != int64(len(defocus)) {
+		t.Errorf("misses = %d, want %d (each |defocus| computes once)", misses, len(defocus))
+	}
+	if total := hits + misses; total != goroutines*int64(len(defocus)) {
+		t.Errorf("hits+misses = %d, want %d (every request accounted)", total, goroutines*len(defocus))
+	}
+}

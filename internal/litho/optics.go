@@ -78,6 +78,7 @@ func gaussianBlurCtx(ctx context.Context, g *Grid, sigmaPx float64) (*Grid, erro
 		return g.Clone(), nil
 	}
 	kern := gaussKernel(sigmaPx)
+	cBlurPasses.Inc()
 	tmp := getBuf(len(g.Data))
 	defer putBuf(tmp)
 	out := &Grid{Origin: g.Origin, Pitch: g.Pitch, W: g.W, H: g.H, Data: make([]float64, len(g.Data))}

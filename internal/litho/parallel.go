@@ -81,6 +81,7 @@ func rowParallel(ctx context.Context, h, w int, fn func(j0, j1 int)) error {
 		workers = nchunks
 	}
 	if workers <= 1 || h*w < parMinPixels {
+		cRowsInline.Add(int64(h))
 		for j0 := 0; j0 < h; j0 += rowChunk {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -93,6 +94,7 @@ func rowParallel(ctx context.Context, h, w int, fn func(j0, j1 int)) error {
 		}
 		return nil
 	}
+	cRowsParallel.Add(int64(h))
 	poolOnce.Do(startPool)
 	job := jobPool.Get().(*rowJob)
 	job.fn, job.ctx, job.h = fn, ctx, h
@@ -131,9 +133,11 @@ func getBuf(n int) []float64 {
 		if cap(b) >= n {
 			b = b[:n]
 			clear(b)
+			cPoolReuse.Inc()
 			return b
 		}
 	}
+	cPoolAlloc.Inc()
 	return make([]float64, n)
 }
 

@@ -135,12 +135,18 @@ func (rm *RasterMask) unitIntensity(ctx context.Context, defocus float64) (*Grid
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
 	if g, ok := rm.cache[key]; ok {
+		cRasterHit.Inc()
+		countPerDefocus("litho.raster.cache.hit", key)
 		return g, nil
 	}
+	sp := hSimulateNS.Start()
 	g, err := rm.computeLocked(ctx, defocus)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	cRasterMiss.Inc()
+	countPerDefocus("litho.raster.cache.miss", key)
 	if rm.caching {
 		rm.cache[key] = g
 	}
@@ -204,6 +210,7 @@ func (rm *RasterMask) computeLocked(ctx context.Context, defocus float64) (*Grid
 			continue
 		}
 		ps.kern, ps.weight = gaussKernel(sigmaPx), w
+		cBlurPasses.Inc()
 		if err := rowParallel(ctx, rm.rH, rm.rW, hPass); err != nil {
 			return nil, err
 		}

@@ -72,11 +72,16 @@ func FEMatrixRaster(ctx context.Context, rm *RasterMask,
 
 	out := make([]FEPoint, 0, len(defocus)*len(dose))
 	for _, f := range defocus {
-		img, err := SimulateRaster(ctx, rm, Condition{Defocus: f, Dose: 1})
-		if err != nil {
-			return out, err
-		}
+		// Each matrix cell is its own simulation request at unit dose,
+		// so the raster cache sees (and accounts) every cell: the first
+		// dose at each |defocus| misses and runs the convolution stack,
+		// the remaining doses hit and cost a threshold rescale. A 9x5
+		// matrix is 9 misses and 36 hits in the metrics snapshot.
 		for _, d := range dose {
+			img, err := SimulateRaster(ctx, rm, Condition{Defocus: f, Dose: 1})
+			if err != nil {
+				return out, err
+			}
 			cd, ok := img.withDose(d).CDAt(x, y, horizontal)
 			p := FEPoint{Cond: Condition{Defocus: f, Dose: d}, CD: cd}
 			p.OK = ok && spec.InSpec(cd)

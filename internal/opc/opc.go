@@ -12,7 +12,23 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/litho"
+	"repro/internal/obs"
 	"repro/internal/tech"
+)
+
+// OPC loop instrumentation: runs and iterations spent (convergence
+// cost), fragments actually moved per iteration (correction
+// activity), and the final RMS EPE of the last completed run.
+var (
+	cModelRuns  = obs.C("opc.model.runs")
+	cModelIters = obs.C("opc.model.iterations")
+	cModelMoves = obs.C("opc.fragment.moves")
+	gModelRMS   = obs.G("opc.model.final_rms")
+	hModelNS    = obs.H("opc.model.ns")
+
+	cPWRuns  = obs.C("opc.pw.runs")
+	cPWIters = obs.C("opc.pw.iterations")
+	cPWMoves = obs.C("opc.pw.fragment.moves")
 )
 
 // Fragment is one movable edge segment with its current bias along the
@@ -224,6 +240,9 @@ func ModelBased(drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo ModelOp
 // error, so callers can distinguish a converged result from an
 // interrupted one.
 func ModelBasedCtx(ctx context.Context, drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo ModelOpts) (Result, error) {
+	sp := hModelNS.Start()
+	defer sp.End()
+	cModelRuns.Inc()
 	frags := FragmentEdges(drawn, mo.MaxLen, mo.CornerLen)
 	capOutward(drawn, frags, mo)
 	res := Result{Fragments: frags}
@@ -234,7 +253,9 @@ func ModelBasedCtx(ctx context.Context, drawn []geom.Rect, window geom.Rect, opt
 		if err != nil {
 			return res, err
 		}
+		cModelIters.Inc()
 		var sq float64
+		var moved int64
 		n := 0
 		for _, f := range frags {
 			s := img.EPEAt(f.Edge, f.Site)
@@ -242,6 +263,7 @@ func ModelBasedCtx(ctx context.Context, drawn []geom.Rect, window geom.Rect, opt
 			n++
 			if it < mo.Iterations {
 				// Move against the error; clamp to mask rules.
+				prev := f.Bias
 				f.Bias -= int64(mo.Gain * s.EPE)
 				if f.Bias > f.MaxOut {
 					f.Bias = f.MaxOut
@@ -249,14 +271,21 @@ func ModelBasedCtx(ctx context.Context, drawn []geom.Rect, window geom.Rect, opt
 				if f.Bias < -mo.MaxBias {
 					f.Bias = -mo.MaxBias
 				}
+				if f.Bias != prev {
+					moved++
+				}
 			}
 		}
+		cModelMoves.Add(moved)
 		rms := 0.0
 		if n > 0 {
 			rms = math.Sqrt(sq / float64(n))
 		}
 		res.RMSHistory = append(res.RMSHistory, rms)
 		res.Mask = mask
+	}
+	if len(res.RMSHistory) > 0 {
+		gModelRMS.Set(res.RMSHistory[len(res.RMSHistory)-1])
 	}
 	return res, nil
 }

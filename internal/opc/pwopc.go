@@ -43,6 +43,7 @@ func ProcessWindowOPC(drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo M
 	if len(corners) == 0 {
 		corners = StandardPWCorners(80)
 	}
+	cPWRuns.Inc()
 	frags := FragmentEdges(drawn, mo.MaxLen, mo.CornerLen)
 	capOutward(drawn, frags, mo)
 	res := PWResult{Fragments: frags}
@@ -73,8 +74,10 @@ func ProcessWindowOPC(drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo M
 			imgs[k], _ = litho.SimulateRaster(ctx, rm, c.Cond)
 		}
 		rm.Release()
+		cPWIters.Inc()
 		rms := make([]float64, len(corners))
 		sq := make([]float64, len(corners))
+		var moved int64
 		for _, f := range frags {
 			var weighted float64
 			for k, c := range corners {
@@ -83,6 +86,7 @@ func ProcessWindowOPC(drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo M
 				weighted += c.Weight * s.EPE
 			}
 			if it < mo.Iterations {
+				prev := f.Bias
 				f.Bias -= int64(mo.Gain * weighted / wsum)
 				if f.Bias > f.MaxOut {
 					f.Bias = f.MaxOut
@@ -90,8 +94,12 @@ func ProcessWindowOPC(drawn []geom.Rect, window geom.Rect, opt tech.Optics, mo M
 				if f.Bias < -mo.MaxBias {
 					f.Bias = -mo.MaxBias
 				}
+				if f.Bias != prev {
+					moved++
+				}
 			}
 		}
+		cPWMoves.Add(moved)
 		n := float64(len(frags))
 		for k := range rms {
 			if n > 0 {

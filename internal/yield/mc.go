@@ -18,9 +18,12 @@ type MCResult struct {
 	Trials int
 	Shorts int
 	Opens  int
-	// ShortFrac and OpenFrac estimate critical area / chip area.
-	ShortFrac float64
-	OpenFrac  float64
+	// ShortCA and OpenCA are the Monte Carlo estimates of the
+	// size-distribution-averaged critical area in nm^2:
+	// (hits / trials) x throw area. They converge to the analytic
+	// AvgCriticalArea of the matching failure mode.
+	ShortCA float64
+	OpenCA  float64
 }
 
 // MonteCarlo throws trials defects uniformly over the layer's bounding
@@ -86,8 +89,11 @@ func MonteCarlo(flat []layout.Shape, layer tech.Layer, def tech.Defects, trials 
 			res.Opens++
 		}
 	}
-	chip := float64(area.Area())
-	res.ShortFrac = float64(res.Shorts) / float64(trials) * chip
-	res.OpenFrac = float64(res.Opens) / float64(trials) * chip
+	// Each trial samples a uniform location over the throw area, so
+	// hits/trials estimates (critical area / throw area); multiplying
+	// by the throw area recovers the critical area itself.
+	throw := float64(area.Area())
+	res.ShortCA = float64(res.Shorts) / float64(trials) * throw
+	res.OpenCA = float64(res.Opens) / float64(trials) * throw
 	return res
 }

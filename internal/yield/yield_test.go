@@ -235,10 +235,45 @@ func TestMonteCarloAgreesWithGeometry(t *testing.T) {
 	nets := layout.NetsOn(flat, tech.Metal1)
 	d := SizeDist{X0: def.X0, XMax: def.XMax}
 	ana := AvgCriticalArea(d, func(x int64) int64 { return ShortCriticalArea(nets, x) }, 24)
-	// MC estimate: ShortFrac is (hits/trials)*thrown area.
-	ratio := res.ShortFrac / ana
+	// ShortCA is (hits/trials) x throw area: nm^2, directly
+	// comparable to the analytic critical area.
+	ratio := res.ShortCA / ana
 	if ratio < 0.5 || ratio > 2.0 {
-		t.Fatalf("MC/analytic short CA ratio = %v (mc=%v ana=%v)", ratio, res.ShortFrac, ana)
+		t.Fatalf("MC/analytic short CA ratio = %v (mc=%v ana=%v)", ratio, res.ShortCA, ana)
+	}
+}
+
+func TestMonteCarloOpenCAUnits(t *testing.T) {
+	// A single wide wire: every defect spanning its width is an open,
+	// none can short. OpenCA must land near the analytic open critical
+	// area in nm^2 — not a dimensionless fraction of the throw area.
+	flat := []layout.Shape{
+		{Layer: tech.Metal1, R: geom.R(0, 0, 100, 20000), Net: 1},
+	}
+	def := tech.Defects{D0: 0.25, X0: 80, XMax: 600, Alpha: 2}
+	rnd := rand.New(rand.NewSource(11))
+	res := MonteCarlo(flat, tech.Metal1, def, 40000, rnd)
+	if res.Opens == 0 {
+		t.Fatalf("MC found no opens across a 100nm-wide wire")
+	}
+	if res.Shorts != 0 {
+		t.Fatalf("single net cannot short, got %d", res.Shorts)
+	}
+	wires := []geom.Rect{flat[0].R}
+	d := SizeDist{X0: def.X0, XMax: def.XMax}
+	ana := AvgCriticalArea(d, func(x int64) int64 { return OpenCriticalArea(wires, x) }, 24)
+	if ana <= 0 {
+		t.Fatalf("analytic open CA = %v", ana)
+	}
+	ratio := res.OpenCA / ana
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("MC/analytic open CA ratio = %v (mc=%v ana=%v)", ratio, res.OpenCA, ana)
+	}
+	// The old bug scaled hit fractions by the throw area while the
+	// field claimed to be a fraction: a genuine fraction could never
+	// exceed 1, a critical area on this structure must.
+	if res.OpenCA <= 1 {
+		t.Fatalf("OpenCA = %v nm^2, suspiciously fraction-like", res.OpenCA)
 	}
 }
 

@@ -9,9 +9,11 @@
 GO ?= go
 # Benchmark record for the current PR; override to compare against an
 # older record, e.g. `make bench BENCH_OUT=BENCH_PR2.json`.
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR4.json
+# Baseline record benchcmp diffs BENCH_OUT against.
+BENCH_BASE ?= BENCH_PR3.json
 
-.PHONY: tier1 check build vet test race-fast bench fmt-check
+.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check
 
 tier1: ## build + vet + gofmt gate + full tests under the race detector
 	$(GO) build ./...
@@ -42,3 +44,6 @@ race-fast: ## race pass skipping the slow full-scorecard experiments
 
 bench: ## run the tier-1 benchmark set and record $(BENCH_OUT)
 	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+benchcmp: ## per-benchmark deltas: $(BENCH_BASE) vs $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) $(BENCH_OUT)

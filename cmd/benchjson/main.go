@@ -8,6 +8,12 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem . | benchjson -o BENCH_PR2.json
+//
+// With -compare OLD.json the tool instead reads two JSON records and
+// prints a per-benchmark delta table (ns/op and allocs/op ratios), for
+// `make benchcmp`:
+//
+//	benchjson -compare BENCH_PR3.json BENCH_PR4.json
 package main
 
 import (
@@ -47,12 +53,87 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:
 
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default: append to stdout)")
+	compare := flag.String("compare", "", "old JSON record: compare against the new record named as the positional argument")
 	flag.Parse()
 
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare OLD.json needs exactly one NEW.json argument")
+			os.Exit(2)
+		}
+		if err := runCompare(os.Stdout, *compare, flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout, os.Stderr, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare loads two JSON records and prints per-benchmark ns/op
+// and allocs/op deltas for every benchmark present in both, in the
+// new record's order. Speedups print as the old/new ratio (so bigger
+// is better); benchmarks only present on one side are listed at the
+// end so renames don't vanish silently.
+func runCompare(w io.Writer, oldPath, newPath string) error {
+	load := func(path string) (*Report, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &rep, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Result, len(oldRep.Benchmarks))
+	for _, r := range oldRep.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	newNames := make(map[string]bool, len(newRep.Benchmarks))
+
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs", "ratio")
+	for _, n := range newRep.Benchmarks {
+		newNames[n.Name] = true
+		o, ok := oldBy[n.Name]
+		if !ok {
+			continue
+		}
+		speed := "n/a"
+		if n.NsPerOp > 0 {
+			speed = fmt.Sprintf("%.2fx", o.NsPerOp/n.NsPerOp)
+		}
+		ar := "n/a"
+		if o.AllocsPerOp >= 0 && n.AllocsPerOp > 0 {
+			ar = fmt.Sprintf("%.2fx", float64(o.AllocsPerOp)/float64(n.AllocsPerOp))
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %8s %12d %12d %8s\n",
+			n.Name, o.NsPerOp, n.NsPerOp, speed, o.AllocsPerOp, n.AllocsPerOp, ar)
+	}
+	for _, n := range newRep.Benchmarks {
+		if _, ok := oldBy[n.Name]; !ok {
+			fmt.Fprintf(w, "%-40s %14s %14.0f  (new)\n", n.Name, "-", n.NsPerOp)
+		}
+	}
+	for _, o := range oldRep.Benchmarks {
+		if !newNames[o.Name] {
+			fmt.Fprintf(w, "%-40s %14.0f %14s  (removed)\n", o.Name, o.NsPerOp, "-")
+		}
+	}
+	return nil
 }
 
 // run parses benchmark output from in, echoing every line to stdout,

@@ -79,3 +79,40 @@ func checkReport(t *testing.T, rep Report) {
 		t.Fatalf("bad second result (benchmem fields must default to -1): %+v", b1)
 	}
 }
+
+// Compare mode: per-benchmark ns/op and allocs/op deltas for every
+// benchmark present in both records, with one-sided entries flagged
+// instead of dropped.
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	writeRec := func(name string, rep Report) string {
+		path := filepath.Join(dir, name)
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := writeRec("old.json", Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 3000, AllocsPerOp: 500},
+		{Name: "BenchmarkGone", NsPerOp: 10, AllocsPerOp: 1},
+	}})
+	newPath := writeRec("new.json", Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkNew", NsPerOp: 42, AllocsPerOp: 7},
+	}})
+
+	var out strings.Builder
+	if err := runCompare(&out, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"BenchmarkA", "3.00x", "5.00x", "(new)", "(removed)", "BenchmarkGone", "BenchmarkNew"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/circuit"
@@ -368,10 +369,12 @@ func EvalDRCPlus(ctx context.Context, t *tech.Tech, trainSeed, testSeed int64) (
 		return o
 	}
 
-	// Plain-DRC baseline capture on the test design.
+	// Plain-DRC baseline capture on the test design. Rules fan out
+	// over the cores under the evaluator's context, so a canceled
+	// evaluation stops dispatching checks.
 	sp = stage("drc-plus", "drc-baseline")
 	deck := drc.StandardDeck(t)
-	res := deck.Run(drc.NewContext(t, shapesOf(testM1)))
+	res := deck.RunCtx(ctx, drc.NewContext(t, shapesOf(testM1)), runtime.GOMAXPROCS(0))
 	drcCaught := 0
 	for _, h := range testHS {
 		for _, v := range res.Violations {

@@ -38,15 +38,17 @@ type Result struct {
 	Edges int
 }
 
-// MaskRects returns the rects assigned to mask m (0 or 1).
+// MaskRects returns the rects assigned to mask m (0 or 1) as one
+// normalized set: a single n-ary union sweep over the per-feature
+// geometry instead of concatenate-then-normalize.
 func (r *Result) MaskRects(m int) []geom.Rect {
-	var out []geom.Rect
+	sets := make([][]geom.Rect, 0, len(r.Features))
 	for _, f := range r.Features {
 		if f.Mask == m {
-			out = append(out, f.Rects...)
+			sets = append(sets, f.Rects)
 		}
 	}
-	return geom.Normalize(out)
+	return geom.UnionAll(sets...)
 }
 
 // DensityBalance returns |area(mask0) - area(mask1)| / total, the mask

@@ -1,11 +1,42 @@
 package drc
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"repro/internal/geom"
 	"repro/internal/tech"
 )
+
+// candidate is a violation marker awaiting dedup, carrying the
+// measured facing distance (dimension scans) or the corner gap pair
+// (corner scans) — whichever the producing scan fills in.
+type candidate struct {
+	m      geom.Rect
+	d      int64
+	gx, gy int64
+}
+
+// dedupCandidates sorts candidates into deterministic order and drops
+// duplicate markers in place — the same facing pair is often reachable
+// from several edges, and the sorted-slice dedup replaces a per-scan
+// map[geom.Rect]bool that allocated on every check.
+func dedupCandidates(cs []candidate) []candidate {
+	slices.SortFunc(cs, func(a, b candidate) int {
+		if c := cmp.Compare(a.m.Y0, b.m.Y0); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.m.X0, b.m.X0); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.m.Y1, b.m.Y1); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.m.X1, b.m.X1)
+	})
+	return slices.CompactFunc(cs, func(a, b candidate) bool { return a.m == b.m })
+}
 
 // Edge-based dimensional checks. Width and spacing are both "facing
 // edge pair" scans: a bottom edge (interior above) facing a top edge
@@ -79,8 +110,7 @@ func dimensionScan(rs []geom.Rect, lim int64, interior bool, mk func(geom.Rect, 
 		ix.Insert(boxes[i])
 	}
 
-	var out []Violation
-	seen := make(map[geom.Rect]bool)
+	var cands []candidate
 	for i, e := range edges {
 		// Pick the "lower/left" member of each facing pair to avoid
 		// double reporting.
@@ -142,21 +172,22 @@ func dimensionScan(rs []geom.Rect, lim int64, interior bool, mk func(geom.Rect, 
 				continue
 			}
 			// Validity: space between must be all-interior (width) or
-			// all-exterior (spacing).
-			cov := geom.AreaOf(geom.Intersect([]geom.Rect{marker}, rs))
+			// all-exterior (spacing). ClipArea measures coverage
+			// without materializing the intersection geometry.
+			cov := geom.ClipArea(rs, marker)
 			if interior && cov != marker.Area() {
 				continue
 			}
 			if !interior && cov != 0 {
 				continue
 			}
-			if seen[marker] {
-				continue
-			}
-			seen[marker] = true
-			out = append(out, mk(marker, dist))
+			cands = append(cands, candidate{m: marker, d: dist})
 		}
 		_ = i
+	}
+	var out []Violation
+	for _, c := range dedupCandidates(cands) {
+		out = append(out, mk(c.m, c.d))
 	}
 	return out
 }
@@ -171,8 +202,7 @@ func cornerScan(rs []geom.Rect, s int64, rule string, layer tech.Layer) []Violat
 	}
 	ix := geom.NewIndex(4 * s)
 	ix.InsertAll(norm)
-	var out []Violation
-	seen := make(map[geom.Rect]bool)
+	var cands []candidate
 	for i, a := range norm {
 		for _, id := range ix.Query(a.Bloat(s)) {
 			if id <= i {
@@ -194,20 +224,20 @@ func cornerScan(rs []geom.Rect, s int64, rule string, layer tech.Layer) []Violat
 			// Only a violation if the gap box is truly empty (not part
 			// of either region via other rects) and the corners belong
 			// to different connected regions.
-			if geom.AreaOf(geom.Intersect([]geom.Rect{marker}, norm)) != 0 {
+			if geom.ClipArea(norm, marker) != 0 {
 				continue
 			}
-			if seen[marker] {
-				continue
-			}
-			seen[marker] = true
-			out = append(out, Violation{
-				Rule:   rule,
-				Layer:  layer,
-				Marker: marker,
-				Detail: fmt.Sprintf("corner gap (%d,%d) < %d", gx, gy, s),
-			})
+			cands = append(cands, candidate{m: marker, gx: gx, gy: gy})
 		}
+	}
+	var out []Violation
+	for _, c := range dedupCandidates(cands) {
+		out = append(out, Violation{
+			Rule:   rule,
+			Layer:  layer,
+			Marker: c.m,
+			Detail: fmt.Sprintf("corner gap (%d,%d) < %d", c.gx, c.gy, s),
+		})
 	}
 	return out
 }

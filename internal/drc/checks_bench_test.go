@@ -1,0 +1,53 @@
+package drc
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// benchShapes builds a dense comb layout with sub-minimum necks and
+// gaps sprinkled in, sized to exercise the dimension/corner scans the
+// way a routed block does.
+func benchShapes() []layout.Shape {
+	var shapes []layout.Shape
+	for row := int64(0); row < 20; row++ {
+		y := row * 400
+		for col := int64(0); col < 20; col++ {
+			x := col * 300
+			w := int64(120)
+			if (row+col)%7 == 0 {
+				w = 60 // sub-minimum width
+			}
+			shapes = append(shapes, m1(geom.R(x, y, x+w, y+320)))
+			if (row+col)%5 == 0 {
+				// close neighbor: sub-minimum space
+				shapes = append(shapes, m1(geom.R(x+w+50, y, x+w+50+80, y+320)))
+			}
+		}
+	}
+	return shapes
+}
+
+// BenchmarkDimensionScan is the allocs/op regression gate for the
+// edge-pair scans: the seen-set map and the per-candidate boolean op
+// it replaced dominated the old profile, so allocs/op regressions here
+// mean one of those crept back in.
+func BenchmarkDimensionScan(b *testing.B) {
+	tt := tech.N45()
+	ctx := NewContext(tt, benchShapes())
+	width := MinWidth{Layer: tech.Metal1, W: 70}
+	space := MinSpace{Layer: tech.Metal1, S: 140}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := width.Check(ctx); len(vs) == 0 {
+			b.Fatal("width scan found nothing")
+		}
+		if vs := space.Check(ctx); len(vs) == 0 {
+			b.Fatal("space scan found nothing")
+		}
+	}
+}

@@ -8,10 +8,13 @@
 package drc
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/tech"
 )
@@ -67,13 +70,26 @@ type Result struct {
 func (r Result) Count() int { return len(r.Violations) }
 
 // Run executes every rule and aggregates the violations
-// deterministically (sorted by rule, then marker position).
+// deterministically (sorted by rule, then marker position). Rules fan
+// out across the machine's cores; rules only read the shared Context.
 func (d *Deck) Run(ctx *Context) Result {
+	return d.RunCtx(context.Background(), ctx, runtime.GOMAXPROCS(0))
+}
+
+// RunCtx is Run with explicit cancellation and worker-pool width:
+// independent rules are checked concurrently (each rule only reads the
+// prepared Context), per-rule results land in rule order, and the
+// aggregate is identical to a sequential run. A canceled context stops
+// dispatching further rules; the partial result is still returned.
+func (d *Deck) RunCtx(stdctx context.Context, ctx *Context, parallel int) Result {
+	perRule := make([][]Violation, len(d.Rules))
+	_ = harness.ForEach(stdctx, parallel, len(d.Rules), func(i int) {
+		perRule[i] = d.Rules[i].Check(ctx)
+	})
 	res := Result{ByRule: make(map[string]int)}
-	for _, rule := range d.Rules {
-		vs := rule.Check(ctx)
-		res.Violations = append(res.Violations, vs...)
-		res.ByRule[rule.Name()] += len(vs)
+	for i, rule := range d.Rules {
+		res.Violations = append(res.Violations, perRule[i]...)
+		res.ByRule[rule.Name()] += len(perRule[i])
 	}
 	sort.Slice(res.Violations, func(i, j int) bool {
 		a, b := res.Violations[i], res.Violations[j]

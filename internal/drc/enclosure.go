@@ -27,7 +27,7 @@ func (r Enclosure) Name() string {
 func (r Enclosure) Check(ctx *Context) []Violation {
 	metal := ctx.Layers[r.Metal]
 	covered := func(want geom.Rect) bool {
-		return geom.AreaOf(geom.Intersect([]geom.Rect{want}, metal)) == want.Area()
+		return geom.ClipArea(metal, want) == want.Area()
 	}
 	var out []Violation
 	for _, s := range ctx.Shapes {

@@ -7,10 +7,13 @@
 package fill
 
 import (
+	"context"
 	"math"
+	"runtime"
 
 	"repro/internal/drc"
 	"repro/internal/geom"
+	"repro/internal/harness"
 )
 
 // DensityMap is the windowed density field of one layer.
@@ -20,14 +23,16 @@ type DensityMap struct {
 }
 
 // Analyze computes the density map of the rect set over the extent
-// with the given window and step.
+// with the given window and step. Windows are independent reads of the
+// normalized geometry, so they fan out across the machine's cores;
+// results land by window index, keeping the map deterministic.
 func Analyze(rs []geom.Rect, extent geom.Rect, window, step int64) DensityMap {
 	ws := drc.WindowGrid(extent, window, step)
 	dm := DensityMap{Windows: ws, Density: make([]float64, len(ws))}
 	norm := geom.Normalize(rs)
-	for i, w := range ws {
-		dm.Density[i] = drc.DensityIn(norm, w)
-	}
+	_ = harness.ForEach(context.Background(), runtime.GOMAXPROCS(0), len(ws), func(i int) {
+		dm.Density[i] = drc.DensityIn(norm, ws[i])
+	})
 	return dm
 }
 

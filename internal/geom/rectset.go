@@ -5,10 +5,9 @@ import (
 	"slices"
 )
 
-// This file implements boolean algebra on sets of axis-aligned
-// rectangles using slab decomposition: the plane is cut into horizontal
-// slabs at every distinct y coordinate, interval arithmetic is applied
-// per slab, and vertically compatible slabs are coalesced afterwards.
+// Boolean algebra on sets of axis-aligned rectangles. The production
+// engine is the single-pass sweep line in sweep.go; the legacy slab
+// decomposition survives in slab.go as the differential-test oracle.
 // All operations return *disjoint* rectangles in canonical order
 // (sorted by Y0, then X0), the normal form assumed throughout the DFM
 // stack.
@@ -16,13 +15,25 @@ import (
 // interval is a half-open x range [lo, hi).
 type interval struct{ lo, hi int64 }
 
-// mergeIntervals merges overlapping or touching sorted-by-lo intervals
-// in place and returns the compacted slice.
+// mergeIntervals merges overlapping or touching intervals in place and
+// returns the compacted slice. Input already sorted by lo — the only
+// form the scanline and slab paths produce — is detected with a linear
+// scan and skips the sort entirely, mirroring the IsNormal fast path
+// on rect sets.
 func mergeIntervals(iv []interval) []interval {
 	if len(iv) <= 1 {
 		return iv
 	}
-	slices.SortFunc(iv, func(a, b interval) int { return cmp.Compare(a.lo, b.lo) })
+	sorted := true
+	for i := 1; i < len(iv); i++ {
+		if iv[i].lo < iv[i-1].lo {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		slices.SortFunc(iv, func(a, b interval) int { return cmp.Compare(a.lo, b.lo) })
+	}
 	out := iv[:1]
 	for _, v := range iv[1:] {
 		last := &out[len(out)-1]
@@ -34,136 +45,6 @@ func mergeIntervals(iv []interval) []interval {
 			out = append(out, v)
 		}
 	}
-	return out
-}
-
-// slabIntervals collects the merged x-intervals of every rect in rs
-// that spans the horizontal slab [ya, yb).
-func slabIntervals(rs []Rect, ya, yb int64) []interval {
-	var iv []interval
-	for _, r := range rs {
-		if r.Empty() {
-			continue
-		}
-		if r.Y0 <= ya && r.Y1 >= yb {
-			iv = append(iv, interval{r.X0, r.X1})
-		}
-	}
-	return mergeIntervals(iv)
-}
-
-// combineIntervals applies the boolean op to two merged interval lists
-// and returns the merged result.
-func combineIntervals(a, b []interval, op func(inA, inB bool) bool) []interval {
-	// Gather elementary x coordinates.
-	xs := make([]int64, 0, 2*(len(a)+len(b)))
-	for _, v := range a {
-		xs = append(xs, v.lo, v.hi)
-	}
-	for _, v := range b {
-		xs = append(xs, v.lo, v.hi)
-	}
-	if len(xs) == 0 {
-		return nil
-	}
-	slices.Sort(xs)
-	xs = dedup64(xs)
-
-	contains := func(iv []interval, x int64) bool {
-		// binary search for the interval with lo <= x < hi
-		lo, hi := 0, len(iv)
-		for lo < hi {
-			mid := int(uint(lo+hi) >> 1)
-			if iv[mid].hi > x {
-				hi = mid
-			} else {
-				lo = mid + 1
-			}
-		}
-		return lo < len(iv) && iv[lo].lo <= x
-	}
-
-	var out []interval
-	for i := 0; i+1 < len(xs); i++ {
-		x0, x1 := xs[i], xs[i+1]
-		if op(contains(a, x0), contains(b, x0)) {
-			if n := len(out); n > 0 && out[n-1].hi == x0 {
-				out[n-1].hi = x1
-			} else {
-				out = append(out, interval{x0, x1})
-			}
-		}
-	}
-	return out
-}
-
-func dedup64(xs []int64) []int64 {
-	out := xs[:0]
-	for i, v := range xs {
-		if i == 0 || v != out[len(out)-1] {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-// boolOp applies a pointwise boolean operation to the regions covered
-// by rect sets a and b, returning a normalized disjoint rect set.
-func boolOp(a, b []Rect, op func(inA, inB bool) bool) []Rect {
-	ys := make([]int64, 0, 2*(len(a)+len(b)))
-	for _, r := range a {
-		if !r.Empty() {
-			ys = append(ys, r.Y0, r.Y1)
-		}
-	}
-	for _, r := range b {
-		if !r.Empty() {
-			ys = append(ys, r.Y0, r.Y1)
-		}
-	}
-	if len(ys) == 0 {
-		return nil
-	}
-	slices.Sort(ys)
-	ys = dedup64(ys)
-
-	type slab struct {
-		ya, yb int64
-		iv     []interval
-	}
-	slabs := make([]slab, 0, len(ys))
-	for i := 0; i+1 < len(ys); i++ {
-		ya, yb := ys[i], ys[i+1]
-		iv := combineIntervals(slabIntervals(a, ya, yb), slabIntervals(b, ya, yb), op)
-		if len(iv) > 0 {
-			slabs = append(slabs, slab{ya, yb, iv})
-		}
-	}
-
-	// Vertical coalescing: merge consecutive slabs with identical
-	// interval lists that abut.
-	var out []Rect
-	flush := func(s slab) {
-		for _, v := range s.iv {
-			out = append(out, Rect{v.lo, s.ya, v.hi, s.yb})
-		}
-	}
-	var cur slab
-	have := false
-	for _, s := range slabs {
-		if have && cur.yb == s.ya && sameIntervals(cur.iv, s.iv) {
-			cur.yb = s.yb
-			continue
-		}
-		if have {
-			flush(cur)
-		}
-		cur, have = s, true
-	}
-	if have {
-		flush(cur)
-	}
-	sortRects(out)
 	return out
 }
 
@@ -196,7 +77,7 @@ func sortRects(rs []Rect) {
 
 // Union returns the region covered by a or b as disjoint rects.
 func Union(a, b []Rect) []Rect {
-	return boolOp(a, b, func(x, y bool) bool { return x || y })
+	return sweepBoolOp(a, b, opUnion)
 }
 
 // Normalize converts an arbitrary (possibly overlapping) rect list into
@@ -209,7 +90,7 @@ func Normalize(rs []Rect) []Rect {
 	if IsNormal(rs) {
 		return rs
 	}
-	return Union(rs, nil)
+	return sweepUnion(rs)
 }
 
 // IsNormal reports whether rs is exactly in the canonical form the
@@ -264,27 +145,32 @@ func sameXSpans(a, b []Rect) bool {
 
 // Intersect returns the region covered by both a and b.
 func Intersect(a, b []Rect) []Rect {
-	return boolOp(a, b, func(x, y bool) bool { return x && y })
+	return sweepBoolOp(a, b, opIntersect)
 }
 
 // Subtract returns the region covered by a but not b.
 func Subtract(a, b []Rect) []Rect {
-	return boolOp(a, b, func(x, y bool) bool { return x && !y })
+	return sweepBoolOp(a, b, opSubtract)
 }
 
 // Xor returns the region covered by exactly one of a and b.
 func Xor(a, b []Rect) []Rect {
-	return boolOp(a, b, func(x, y bool) bool { return x != y })
+	return sweepBoolOp(a, b, opXor)
 }
 
 // AreaOf returns the total area covered by the rect set, counting
-// overlapping regions once.
+// overlapping regions once. Normalized input is summed directly;
+// overlapping input runs the segment-tree area sweep, which never
+// materializes the union geometry.
 func AreaOf(rs []Rect) int64 {
-	var a int64
-	for _, r := range Normalize(rs) {
-		a += r.Area()
+	if IsNormal(rs) {
+		var a int64
+		for _, r := range rs {
+			a += r.Area()
+		}
+		return a
 	}
-	return a
+	return unionArea(rs)
 }
 
 // BBoxOf returns the bounding box of the set (empty Rect for an empty

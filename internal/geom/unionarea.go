@@ -1,0 +1,179 @@
+package geom
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+)
+
+// Area-only sweeps on a segment tree. The general sweep in sweep.go
+// pays O(width) per event to keep its active list sorted — the right
+// trade when the merged scanline must be emitted as output rects, but
+// pure area queries (critical-area accumulation, the AreaOf fallback)
+// only need a covered width per y-segment. The classic fix is a
+// segment tree over the compressed x coordinates holding per-node
+// cover counts: O(log n) per event, O(1) covered width, no memmove,
+// and every buffer pooled. The tree tracks the lengths covered at
+// least once and at least twice, so multiplicity queries (bridge
+// critical area = region covered by two distinct nets) run in the
+// same single pass.
+
+type areaEvent struct {
+	y, x0, x1 int64
+	delta     int32
+}
+
+type areaSweeper struct {
+	events []areaEvent
+	xs     []int64
+	cnt    []int32 // per-node full-cover count
+	cov1   []int64 // per-node length covered >= 1 time
+	cov2   []int64 // per-node length covered >= 2 times
+}
+
+var areaSweeperPool = sync.Pool{New: func() any { return new(areaSweeper) }}
+
+// update adds delta to the cover count of elementary intervals
+// [lo, hi) within the node spanning [nlo, nhi), then recomputes the
+// node's covered lengths from its count and its children: a count of
+// c here promotes everything the subtree covers by c.
+func (s *areaSweeper) update(node, nlo, nhi int, lo, hi int, delta int32) {
+	if hi <= nlo || nhi <= lo {
+		return
+	}
+	if lo <= nlo && nhi <= hi {
+		s.cnt[node] += delta
+	} else {
+		mid := (nlo + nhi) / 2
+		s.update(2*node, nlo, mid, lo, hi, delta)
+		s.update(2*node+1, mid, nhi, lo, hi, delta)
+	}
+	span := s.xs[nhi] - s.xs[nlo]
+	leaf := nhi-nlo == 1
+	switch {
+	case s.cnt[node] >= 2:
+		s.cov1[node] = span
+		s.cov2[node] = span
+	case s.cnt[node] == 1:
+		s.cov1[node] = span
+		if leaf {
+			s.cov2[node] = 0
+		} else {
+			// One cover here: the children's >=1 region is >=2 total.
+			s.cov2[node] = s.cov1[2*node] + s.cov1[2*node+1]
+		}
+	default:
+		if leaf {
+			s.cov1[node] = 0
+			s.cov2[node] = 0
+		} else {
+			s.cov1[node] = s.cov1[2*node] + s.cov1[2*node+1]
+			s.cov2[node] = s.cov2[2*node] + s.cov2[2*node+1]
+		}
+	}
+}
+
+// coverArea runs the sweep and returns the area covered by at least
+// minCover rects across all sets (1 = union area, 2 = pairwise
+// overlap area).
+func coverArea(minCover int, sets [][]Rect) int64 {
+	s := areaSweeperPool.Get().(*areaSweeper)
+	defer func() {
+		s.events = s.events[:0]
+		s.xs = s.xs[:0]
+		areaSweeperPool.Put(s)
+	}()
+	ev := s.events[:0]
+	xs := s.xs[:0]
+	for _, rs := range sets {
+		for _, r := range rs {
+			if r.Empty() {
+				continue
+			}
+			ev = append(ev,
+				areaEvent{y: r.Y0, x0: r.X0, x1: r.X1, delta: 1},
+				areaEvent{y: r.Y1, x0: r.X0, x1: r.X1, delta: -1},
+			)
+			xs = append(xs, r.X0, r.X1)
+		}
+	}
+	s.events, s.xs = ev, xs
+	if len(ev) == 0 {
+		return 0
+	}
+	cSweepOps.Inc()
+	cSweepEvents.Add(int64(len(ev)))
+	slices.Sort(xs)
+	xs = dedup64(xs)
+	s.xs = xs
+	m := len(xs) - 1 // elementary x intervals
+	if m <= 0 {
+		return 0
+	}
+	if need := 4 * m; cap(s.cnt) < need {
+		s.cnt = make([]int32, need)
+		s.cov1 = make([]int64, need)
+		s.cov2 = make([]int64, need)
+	} else {
+		s.cnt = s.cnt[:need]
+		s.cov1 = s.cov1[:need]
+		s.cov2 = s.cov2[:need]
+		for i := range s.cnt {
+			s.cnt[i] = 0
+			s.cov1[i] = 0
+			s.cov2[i] = 0
+		}
+	}
+	slices.SortFunc(ev, func(a, b areaEvent) int { return cmp.Compare(a.y, b.y) })
+
+	covered := s.cov1
+	if minCover >= 2 {
+		covered = s.cov2
+	}
+	var area, lastY int64
+	started := false
+	for k := 0; k < len(ev); {
+		y := ev[k].y
+		if started {
+			area += covered[1] * (y - lastY)
+		}
+		for k < len(ev) && ev[k].y == y {
+			e := ev[k]
+			lo, _ := slices.BinarySearch(xs, e.x0)
+			hi, _ := slices.BinarySearch(xs, e.x1)
+			s.update(1, 0, m, lo, hi, e.delta)
+			k++
+		}
+		lastY = y
+		started = true
+	}
+	return area
+}
+
+// unionArea returns the area covered by any rect of any set, counting
+// overlaps once.
+func unionArea(sets ...[]Rect) int64 {
+	return coverArea(1, sets)
+}
+
+// DoubleCoverArea returns the area covered by rects of at least two
+// different sets — equivalently, the union of all pairwise
+// intersections — in one sweep over all sets, with nothing
+// materialized. Each set must be internally disjoint (Normalize form)
+// so multiplicity equals the number of distinct sets covering a point;
+// overlap within a single set would be miscounted as cross-set
+// overlap.
+func DoubleCoverArea(sets ...[]Rect) int64 {
+	for _, rs := range sets {
+		if !IsNormal(rs) {
+			// Fall back to normalizing the offending operand; callers
+			// on the hot path always pass normalized geometry.
+			ns := make([][]Rect, len(sets))
+			for i, s := range sets {
+				ns[i] = Normalize(s)
+			}
+			return coverArea(2, ns)
+		}
+	}
+	return coverArea(2, sets)
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+var (
+	cForEachItems  = obs.C("harness.foreach.items")
+	cForEachInline = obs.C("harness.foreach.inline")
+)
+
+// ForEach runs fn(i) for every i in [0, n) across a bounded pool of
+// at most parallel goroutines, the lightweight sibling of Run for
+// homogeneous fan-out (independent DRC rules, density windows,
+// critical-area pairs) where the per-task Result/retry/timeout
+// machinery would be overhead. Workers pull indices from a shared
+// atomic counter, so callers get deterministic output by writing
+// results[i] — completion order never leaks into the aggregate.
+//
+// fn must not panic; cancellation is observed between items and the
+// context error is returned once all in-flight items finish. With
+// parallel <= 1 (or n <= 1) the loop runs inline on the caller.
+func ForEach(ctx context.Context, parallel, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	cForEachItems.Add(int64(n))
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 || n <= 1 {
+		cForEachInline.Add(int64(n))
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

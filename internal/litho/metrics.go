@@ -31,6 +31,12 @@ var (
 	// kernel sigma per simulated field).
 	cBlurPasses = obs.C("litho.blur.passes")
 
+	// Kernel-pass routing: sparse = per-rect separable decomposition
+	// (sparse.go), dense = full-raster two-pass blur. The cost
+	// heuristic in computeLocked picks per sigma.
+	cBlurSparse = obs.C("litho.blur.sparse")
+	cBlurDense  = obs.C("litho.blur.dense")
+
 	// Convolution-stack latency (cache misses only; hits cost a map
 	// lookup).
 	hSimulateNS = obs.H("litho.simulate.ns")

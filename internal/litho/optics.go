@@ -118,6 +118,28 @@ func gaussKernel(sigmaPx float64) []float64 {
 	return kern
 }
 
+// cdfCache memoizes kernel prefix sums by sigma for the sparse blur
+// path (sparse.go), shared read-only like the kernels themselves.
+var cdfCache sync.Map // sigmaPx float64 -> []float64
+
+// gaussKernelCDF returns the kernel and its prefix sums
+// cdf[t] = Σ_{u<=t} kern[u], the closed form of a unit step convolved
+// with the kernel. Both slices are shared: callers must not modify.
+func gaussKernelCDF(sigmaPx float64) (kern, cdf []float64) {
+	kern = gaussKernel(sigmaPx)
+	if v, ok := cdfCache.Load(sigmaPx); ok {
+		return kern, v.([]float64)
+	}
+	cdf = make([]float64, len(kern))
+	var sum float64
+	for i, v := range kern {
+		sum += v
+		cdf[i] = sum
+	}
+	cdfCache.Store(sigmaPx, cdf)
+	return kern, cdf
+}
+
 // blurRowH convolves one row with the kernel under the zero boundary
 // condition (mask padding handles edges). The row is split into
 // left-edge / interior / right-edge segments so the interior — nearly

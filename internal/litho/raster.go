@@ -30,7 +30,8 @@ type RasterMask struct {
 	rW, rH     int
 
 	mu      sync.Mutex
-	raster  Grid // padded coverage raster; pooled buffer, Data nil until built or after Release
+	raster  Grid        // padded coverage raster; pooled buffer, Data nil until built or after Release
+	norm    []geom.Rect // normalized mask, built once on first simulation
 	cache   map[float64]*Grid
 	caching bool
 }
@@ -153,22 +154,35 @@ func (rm *RasterMask) unitIntensity(ctx context.Context, defocus float64) (*Grid
 	return g, nil
 }
 
-// computeLocked runs the kernel stack on the shared raster: amplitude
-// A = sum_k w_k (G_sk * M) accumulated in pooled scratch grids, then
-// intensity I = A^2 cropped to the window. Called with rm.mu held.
+// ensureRasterLocked builds the padded coverage raster if it is not
+// resident (first dense-path simulation, or after Release).
+func (rm *RasterMask) ensureRasterLocked() {
+	if rm.raster.Data != nil {
+		return
+	}
+	rm.raster = Grid{
+		Origin: rm.padded.LL(),
+		Pitch:  rm.pitch,
+		W:      rm.rW,
+		H:      rm.rH,
+		Data:   getBuf(rm.rW * rm.rH),
+	}
+	rm.raster.Rasterize(rm.norm)
+}
+
+// computeLocked runs the kernel stack: amplitude A = sum_k w_k
+// (G_sk * M) accumulated in pooled scratch grids, then intensity
+// I = A^2 cropped to the window. Each kernel pass is routed by an
+// op-count heuristic: sparse per-rect decomposition (sparse.go) when
+// the mask's blurred footprint is smaller than two full raster passes,
+// the dense raster blur otherwise. The raster itself is only built
+// when some pass goes dense. Called with rm.mu held.
 func (rm *RasterMask) computeLocked(ctx context.Context, defocus float64) (*Grid, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if rm.raster.Data == nil {
-		rm.raster = Grid{
-			Origin: rm.padded.LL(),
-			Pitch:  rm.pitch,
-			W:      rm.rW,
-			H:      rm.rH,
-			Data:   getBuf(rm.rW * rm.rH),
-		}
-		rm.raster.Rasterize(rm.mask)
+	if rm.norm == nil {
+		rm.norm = geom.Normalize(rm.mask)
 	}
 	f := defocusFactor(rm.opt, defocus)
 	var wsum float64
@@ -178,11 +192,15 @@ func (rm *RasterMask) computeLocked(ctx context.Context, defocus float64) (*Grid
 	if wsum == 0 {
 		wsum = 1
 	}
-	n := len(rm.raster.Data)
+	n := rm.rW * rm.rH
 	amp := getBuf(n)
-	tmp := getBuf(n)
 	defer putBuf(amp)
-	defer putBuf(tmp)
+	var tmp []float64 // dense-pass scratch, fetched on first dense pass
+	defer func() {
+		if tmp != nil {
+			putBuf(tmp)
+		}
+	}()
 	// One closure pair shared across the sigma loop: the per-pass kernel
 	// and weight travel through a single captured state rather than a
 	// fresh closure per kernel pass.
@@ -191,8 +209,8 @@ func (rm *RasterMask) computeLocked(ctx context.Context, defocus float64) (*Grid
 		weight float64
 	}
 	var ps passState
-	src := rm.raster.Data
 	hPass := func(j0, j1 int) {
+		src := rm.raster.Data
 		for j := j0; j < j1; j++ {
 			blurRowH(src[j*rm.rW:(j+1)*rm.rW], tmp[j*rm.rW:(j+1)*rm.rW], ps.kern)
 		}
@@ -204,13 +222,27 @@ func (rm *RasterMask) computeLocked(ctx context.Context, defocus float64) (*Grid
 		w := rm.opt.Weights[k] / wsum
 		sigmaPx := s * f / rm.pitch
 		if sigmaPx <= 0 {
-			for i, v := range src {
+			rm.ensureRasterLocked()
+			for i, v := range rm.raster.Data {
 				amp[i] += w * v
 			}
 			continue
 		}
-		ps.kern, ps.weight = gaussKernel(sigmaPx), w
+		kern, cdf := gaussKernelCDF(sigmaPx)
 		cBlurPasses.Inc()
+		if sparseBlurOps(rm.norm, rm.padded, rm.pitch, rm.rW, rm.rH, len(kern)) < denseBlurOps(rm.rW, rm.rH, len(kern)) {
+			cBlurSparse.Inc()
+			if err := sparseBlurAcc(ctx, rm.norm, rm.padded, rm.pitch, rm.rW, rm.rH, kern, cdf, w, amp); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		cBlurDense.Inc()
+		rm.ensureRasterLocked()
+		if tmp == nil {
+			tmp = getBuf(n)
+		}
+		ps.kern, ps.weight = kern, w
 		if err := rowParallel(ctx, rm.rH, rm.rW, hPass); err != nil {
 			return nil, err
 		}

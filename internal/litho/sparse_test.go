@@ -1,0 +1,88 @@
+package litho
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestSparseBlurMatchesDense verifies the per-rect separable
+// decomposition against the dense rasterize-then-blur path on random
+// rect sets: identical discrete sums in a different order, so the two
+// fields must agree to FP rounding.
+func TestSparseBlurMatchesDense(t *testing.T) {
+	for c := 0; c < 30; c++ {
+		seed := rand.Int63()
+		rng := rand.New(rand.NewSource(seed))
+		w := 16 + rng.Intn(60)
+		h := 16 + rng.Intn(60)
+		pitch := []float64{1, 2, 5}[rng.Intn(3)]
+		padded := geom.Rect{X0: -int64(3 * pitch), Y0: -int64(2 * pitch),
+			X1: -int64(3*pitch) + int64(float64(w)*pitch), Y1: -int64(2*pitch) + int64(float64(h)*pitch)}
+		var rs []geom.Rect
+		for i := 0; i < 1+rng.Intn(12); i++ {
+			x := padded.X0 - 10 + rng.Int63n(int64(float64(w)*pitch)+20)
+			y := padded.Y0 - 10 + rng.Int63n(int64(float64(h)*pitch)+20)
+			rs = append(rs, geom.Rect{X0: x, Y0: y,
+				X1: x + 1 + rng.Int63n(int64(20*pitch)), Y1: y + 1 + rng.Int63n(int64(20*pitch))})
+		}
+		norm := geom.Normalize(rs)
+		sigmaPx := 0.5 + 4*rng.Float64()
+		kern, cdf := gaussKernelCDF(sigmaPx)
+		weight := 0.25 + rng.Float64()
+
+		// Dense reference: rasterize, then two-pass separable blur.
+		raster := Grid{Origin: padded.LL(), Pitch: pitch, W: w, H: h, Data: make([]float64, w*h)}
+		raster.Rasterize(norm)
+		tmp := make([]float64, w*h)
+		want := make([]float64, w*h)
+		for j := 0; j < h; j++ {
+			blurRowH(raster.Data[j*w:(j+1)*w], tmp[j*w:(j+1)*w], kern)
+		}
+		blurVAccRows(tmp, want, w, h, 0, h, kern, weight)
+
+		got := make([]float64, w*h)
+		if err := sparseBlurAcc(context.Background(), norm, padded, pitch, w, h, kern, cdf, weight, got); err != nil {
+			t.Fatal(err)
+		}
+
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > 1e-12 {
+				t.Fatalf("seed=%d pixel %d (%d,%d): sparse=%g dense=%g diff=%g",
+					seed, i, i%w, i/w, got[i], want[i], d)
+			}
+		}
+	}
+}
+
+// TestSparseBlurCoverageClip pins the grid-edge behaviour: a rect
+// hanging off every side of the raster must contribute exactly the
+// clipped coverage, matching Grid.paint's pixel clamping.
+func TestSparseBlurCoverageClip(t *testing.T) {
+	w, h := 12, 10
+	padded := geom.Rect{X0: 0, Y0: 0, X1: int64(w), Y1: int64(h)}
+	over := []geom.Rect{{X0: -5, Y0: -5, X1: int64(w) + 5, Y1: int64(h) + 5}}
+	kern, cdf := gaussKernelCDF(1.5)
+
+	raster := Grid{Origin: padded.LL(), Pitch: 1, W: w, H: h, Data: make([]float64, w*h)}
+	raster.Rasterize(over)
+	tmp := make([]float64, w*h)
+	want := make([]float64, w*h)
+	for j := 0; j < h; j++ {
+		blurRowH(raster.Data[j*w:(j+1)*w], tmp[j*w:(j+1)*w], kern)
+	}
+	blurVAccRows(tmp, want, w, h, 0, h, kern, 1)
+
+	got := make([]float64, w*h)
+	if err := sparseBlurAcc(context.Background(), over, padded, 1, w, h, kern, cdf, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > 1e-12 {
+			t.Fatalf("pixel (%d,%d): sparse=%g dense=%g", i%w, i/w, got[i], want[i])
+		}
+	}
+}

@@ -163,8 +163,11 @@ func Jaccard(a, b Pattern) float64 {
 	if a.Radius != b.Radius {
 		return 0
 	}
-	inter := geom.AreaOf(geom.Intersect(a.Rects, b.Rects))
-	union := geom.AreaOf(geom.Union(a.Rects, b.Rects))
+	// Area-only sweeps: neither the intersection nor the union
+	// geometry is materialized, which matters because clustering calls
+	// this for every candidate pair.
+	inter := geom.IntersectArea(a.Rects, b.Rects)
+	union := geom.UnionArea(a.Rects, b.Rects)
 	if union == 0 {
 		return 1
 	}

@@ -1,9 +1,12 @@
 package yield
 
 import (
+	"context"
 	"math"
+	"runtime"
 
 	"repro/internal/geom"
+	"repro/internal/harness"
 	"repro/internal/layout"
 )
 
@@ -19,34 +22,25 @@ import (
 // layer geometry. NoNet shapes (fill) are ignored.
 func ShortCriticalArea(nets map[layout.NetID][]geom.Rect, x int64) int64 {
 	ids := layout.SortedNets(nets)
-	// Dilate each net's geometry once.
-	dil := make(map[layout.NetID][]geom.Rect, len(ids))
+	live := ids[:0:0]
 	for _, id := range ids {
-		if id == layout.NoNet {
-			continue
-		}
-		dil[id] = geom.Dilate(nets[id], x/2)
-	}
-	// Index nets by their dilated bboxes for pair pruning.
-	var regions []geom.Rect
-	for i := 0; i < len(ids); i++ {
-		if ids[i] == layout.NoNet {
-			continue
-		}
-		a := dil[ids[i]]
-		abb := geom.BBoxOf(a)
-		for j := i + 1; j < len(ids); j++ {
-			if ids[j] == layout.NoNet {
-				continue
-			}
-			b := dil[ids[j]]
-			if !abb.Overlaps(geom.BBoxOf(b)) {
-				continue
-			}
-			regions = append(regions, geom.Intersect(a, b)...)
+		if id != layout.NoNet {
+			live = append(live, id)
 		}
 	}
-	return geom.AreaOf(regions)
+	// Dilate each net once, fanning out across the cores (dilation is
+	// a normalize sweep per net and dominates the remaining profile).
+	dil := make([][]geom.Rect, len(live))
+	_ = harness.ForEach(context.Background(), runtime.GOMAXPROCS(0), len(live), func(i int) {
+		dil[i] = geom.Dilate(nets[live[i]], x/2)
+	})
+	// The bridge region is the set of points covered by the dilations
+	// of two or more distinct nets — the union of all pairwise
+	// intersections, measured directly by a single multiplicity sweep
+	// over every net's geometry. No pair enumeration, nothing
+	// materialized; each dilation is already disjoint (Normalize
+	// form), so multiplicity counts distinct nets exactly.
+	return geom.DoubleCoverArea(dil...)
 }
 
 // OpenCriticalArea returns the total area (nm^2) where a square defect

@@ -12,8 +12,17 @@ GO ?= go
 BENCH_OUT ?= BENCH_PR4.json
 # Baseline record benchcmp diffs BENCH_OUT against.
 BENCH_BASE ?= BENCH_PR3.json
+# Serving benchmark (PR5's record): where dfmd listens and where the
+# record lands. The micro set above is unchanged since PR4, so the
+# serving run gets its own file rather than clobbering that trend;
+# compare serving records across PRs with e.g.
+# `make benchcmp BENCH_BASE=BENCH_PR5.json BENCH_OUT=BENCH_PR6.json`.
+DFMD_ADDR ?= 127.0.0.1:9517
+SERVEBENCH_OUT ?= BENCH_PR5.json
+# Load shape for servebench; see cmd/dfmload -h.
+SERVEBENCH_FLAGS ?= -rate 150 -duration 8s -dup 0.5 -unique 24 -techniques sraf,redundant-via -seed 1
 
-.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check
+.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check servebench
 
 tier1: ## build + vet + gofmt gate + full tests under the race detector
 	$(GO) build ./...
@@ -47,3 +56,12 @@ bench: ## run the tier-1 benchmark set and record $(BENCH_OUT)
 
 benchcmp: ## per-benchmark deltas: $(BENCH_BASE) vs $(BENCH_OUT)
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) $(BENCH_OUT)
+
+servebench: ## serving benchmark: dfmd + dfmload -> $(SERVEBENCH_OUT)
+	$(GO) build -o bin/dfmd ./cmd/dfmd
+	$(GO) build -o bin/dfmload ./cmd/dfmload
+	@set -e; \
+	./bin/dfmd -addr $(DFMD_ADDR) -quiet & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT; \
+	./bin/dfmload -addr http://$(DFMD_ADDR) -bench $(SERVEBENCH_FLAGS) \
+		| $(GO) run ./cmd/benchjson -o $(SERVEBENCH_OUT)

@@ -1,0 +1,176 @@
+// Package client is the Go client for the dfmd evaluation service:
+// typed submit/poll/result calls over the server's HTTP JSON API,
+// with overload (429) surfaced as a structured error carrying the
+// server's Retry-After hint so callers can implement their own
+// backoff or, like the load generator, account the shed and move on.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Overloaded is the typed form of a 429 shed.
+type Overloaded struct {
+	// RetryAfter is the server's live estimate of when queue room
+	// frees up.
+	RetryAfter time.Duration
+}
+
+func (e *Overloaded) Error() string {
+	return fmt.Sprintf("dfmd overloaded, retry after %v", e.RetryAfter)
+}
+
+// ErrDraining marks a 503 from a server that is shutting down.
+var ErrDraining = errors.New("dfmd draining")
+
+// StatusError is any other non-2xx answer.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("dfmd: http %d: %s", e.Code, e.Msg)
+}
+
+// Client talks to one dfmd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the given base URL (e.g.
+// "http://127.0.0.1:9517"). httpClient nil uses a dedicated default
+// client with no global timeout (per-call ctx governs).
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		var eb server.ErrorBody
+		json.NewDecoder(resp.Body).Decode(&eb) //nolint:errcheck // best-effort detail
+		ra := time.Duration(eb.RetryAfterMS) * time.Millisecond
+		if ra == 0 {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				ra = time.Duration(secs) * time.Second
+			}
+		}
+		return &Overloaded{RetryAfter: ra}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return ErrDraining
+	case resp.StatusCode >= 400:
+		var eb server.ErrorBody
+		json.NewDecoder(resp.Body).Decode(&eb) //nolint:errcheck // best-effort detail
+		return &StatusError{Code: resp.StatusCode, Msg: eb.Error}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a job and returns its initial status (done
+// immediately on a cache hit).
+func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Eval submits and blocks server-side until the job settles.
+func (c *Client) Eval(ctx context.Context, req server.JobRequest) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs?wait=1", req, &st)
+	return st, err
+}
+
+// Job polls one job's status.
+func (c *Client) Job(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls until the job settles or ctx is done.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (server.JobStatus, error) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == server.StateDone || st.State == server.StateFailed {
+			return st, nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Techniques lists the server's technique registry.
+func (c *Client) Techniques(ctx context.Context) ([]string, error) {
+	var body struct {
+		Techniques []string `json:"techniques"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/techniques", nil, &body)
+	return body.Techniques, err
+}
+
+// Healthz reports nil when the server is accepting work.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the server stats and registry snapshot.
+func (c *Client) Metrics(ctx context.Context) (server.Stats, json.RawMessage, error) {
+	var body struct {
+		Server   server.Stats    `json:"server"`
+		Registry json.RawMessage `json:"registry"`
+	}
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &body)
+	return body.Server, body.Registry, err
+}

@@ -1,0 +1,97 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestClientAgainstRealServer drives the genuine service end to end:
+// submit, wait, eval (cache hit), techniques, healthz, metrics.
+func TestClientAgainstRealServer(t *testing.T) {
+	s := server.New(server.Config{Workers: 2, Queue: 8, MaxWait: time.Hour})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := New(ts.URL, nil)
+	ctx := context.Background()
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	names, err := c.Techniques(ctx)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("techniques: %v %v", names, err)
+	}
+
+	st, err := c.Submit(ctx, server.JobRequest{Technique: "sraf", Seed: 3})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	fin, err := c.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fin.State != server.StateDone || fin.Result == nil {
+		t.Fatalf("job settled as %+v", fin)
+	}
+
+	// Eval on the same content: cache hit, immediate.
+	ev, err := c.Eval(ctx, server.JobRequest{Technique: "sraf", Seed: 3})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if !ev.Cached || ev.Result == nil {
+		t.Fatalf("eval replay not cached: %+v", ev)
+	}
+
+	stats, _, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if stats.CacheHits != 1 || stats.CacheMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", stats)
+	}
+
+	if _, err := c.Job(ctx, "j-424242"); err == nil {
+		t.Fatal("unknown job did not error")
+	}
+	var se *StatusError
+	if _, err := c.Submit(ctx, server.JobRequest{Technique: "bogus"}); !errors.As(err, &se) || se.Code != 400 {
+		t.Fatalf("bad technique err = %v, want 400 StatusError", err)
+	}
+}
+
+// TestClientMapsOverloadAndDraining checks the shed/drain error
+// mapping against canned responses.
+func TestClientMapsOverloadAndDraining(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"overloaded","retryAfterMs":1500}`))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL, nil)
+
+	_, err := c.Submit(context.Background(), server.JobRequest{Technique: "sraf"})
+	var ov *Overloaded
+	if !errors.As(err, &ov) {
+		t.Fatalf("429 err = %v, want Overloaded", err)
+	}
+	if ov.RetryAfter != 1500*time.Millisecond {
+		t.Fatalf("retry-after = %v, want 1.5s from body", ov.RetryAfter)
+	}
+	if err := c.Healthz(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("healthz on draining server err = %v, want ErrDraining", err)
+	}
+}

@@ -214,8 +214,9 @@ func errKind(err error) string {
 	return harness.KindOf(err).String()
 }
 
-// jsonOutcome is the serializable view of an Outcome.
-type jsonOutcome struct {
+// OutcomeView is the serializable view of an Outcome — the shape the
+// scorecard JSON and the dfmd service both put on the wire.
+type OutcomeView struct {
 	Technique string  `json:"technique"`
 	Verdict   string  `json:"verdict"`
 	CostFrac  float64 `json:"costFrac"`
@@ -232,26 +233,32 @@ type jsonOutcome struct {
 	Metrics   []Metric `json:"metrics,omitempty"`
 }
 
+// NewOutcomeView flattens an Outcome into its wire shape, rendering
+// the error through the harness taxonomy.
+func NewOutcomeView(o Outcome) OutcomeView {
+	v := OutcomeView{
+		Technique: o.Technique,
+		Verdict:   o.Verdict.String(),
+		CostFrac:  o.CostFrac,
+		CostNote:  o.CostNote,
+		RuntimeMS: float64(o.Runtime.Microseconds()) / 1000,
+		Attempts:  o.Attempts,
+		Metrics:   o.Metrics,
+	}
+	if o.Err != nil {
+		v.Error = o.Err.Error()
+		v.ErrorKind = errKind(o.Err)
+		v.Retryable = harness.IsRetryable(o.Err)
+	}
+	return v
+}
+
 // JSON renders the scorecard as machine-readable JSON (for dashboards
 // and regression tracking of the experiment results).
 func (s *Scorecard) JSON() ([]byte, error) {
-	out := make([]jsonOutcome, 0, len(s.Outcomes))
+	out := make([]OutcomeView, 0, len(s.Outcomes))
 	for _, o := range s.Outcomes {
-		jo := jsonOutcome{
-			Technique: o.Technique,
-			Verdict:   o.Verdict.String(),
-			CostFrac:  o.CostFrac,
-			CostNote:  o.CostNote,
-			RuntimeMS: float64(o.Runtime.Microseconds()) / 1000,
-			Attempts:  o.Attempts,
-			Metrics:   o.Metrics,
-		}
-		if o.Err != nil {
-			jo.Error = o.Err.Error()
-			jo.ErrorKind = errKind(o.Err)
-			jo.Retryable = harness.IsRetryable(o.Err)
-		}
-		out = append(out, jo)
+		out = append(out, NewOutcomeView(o))
 	}
 	return json.MarshalIndent(out, "", "  ")
 }

@@ -2,6 +2,8 @@ package dfm
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"time"
 
@@ -57,49 +59,97 @@ func PerturbSeed(seed int64, attempt int) int64 {
 	return seed + int64(attempt)*seedPerturb
 }
 
+// DefaultBlock is the scorecard's standard workload shape; the Seed
+// field is ignored (each attempt derives its seed via PerturbSeed).
+func DefaultBlock() layout.BlockOpts {
+	return layout.BlockOpts{Rows: 3, RowWidth: 10000, Nets: 15, MaxFan: 3}
+}
+
+// techniqueDef binds a technique name to its evaluator. base carries
+// the workload shape for block-driven techniques (its Seed is
+// overwritten with the perturbed attempt seed); analysis techniques
+// ignore it.
+type techniqueDef struct {
+	name string
+	run  func(ctx context.Context, t *tech.Tech, seed int64, base layout.BlockOpts, attempt int) Outcome
+}
+
+// techniqueDefs is the canonical technique registry, in scorecard
+// order.
+var techniqueDefs = []techniqueDef{
+	{"redundant-via", func(ctx context.Context, t *tech.Tech, seed int64, base layout.BlockOpts, a int) Outcome {
+		base.Seed = PerturbSeed(seed, a)
+		return EvalRedundantVia(ctx, t, base)
+	}},
+	{"dummy-fill", func(ctx context.Context, t *tech.Tech, seed int64, base layout.BlockOpts, a int) Outcome {
+		base.Seed = PerturbSeed(seed, a)
+		return EvalDummyFill(ctx, t, base)
+	}},
+	{"model-opc", func(ctx context.Context, t *tech.Tech, seed int64, base layout.BlockOpts, a int) Outcome {
+		return EvalOPCAccuracy(ctx, t)
+	}},
+	{"sraf", func(ctx context.Context, t *tech.Tech, seed int64, base layout.BlockOpts, a int) Outcome {
+		return EvalSRAF(ctx, t)
+	}},
+	{"drc-plus", func(ctx context.Context, t *tech.Tech, seed int64, base layout.BlockOpts, a int) Outcome {
+		s := PerturbSeed(seed, a)
+		return EvalDRCPlus(ctx, t, s, s+1)
+	}},
+	{"litho-aware-timing", func(ctx context.Context, t *tech.Tech, seed int64, base layout.BlockOpts, a int) Outcome {
+		return EvalLithoTiming(ctx, t, PerturbSeed(seed, a))
+	}},
+	{"restricted-rules", func(ctx context.Context, t *tech.Tech, seed int64, base layout.BlockOpts, a int) Outcome {
+		return EvalRestrictedRules(ctx, t)
+	}},
+	{"dpt-decomposition", func(ctx context.Context, t *tech.Tech, seed int64, base layout.BlockOpts, a int) Outcome {
+		base.Seed = PerturbSeed(seed, a)
+		return EvalDPT(ctx, t, base)
+	}},
+}
+
+// Techniques returns the technique names in canonical scorecard
+// order. The slice is fresh on every call.
+func Techniques() []string {
+	names := make([]string, len(techniqueDefs))
+	for i, d := range techniqueDefs {
+		names[i] = d.name
+	}
+	return names
+}
+
+// ErrUnknownTechnique is returned by TechniqueTask for a name outside
+// the registry.
+var ErrUnknownTechnique = errors.New("dfm: unknown technique")
+
+// TechniqueTask builds the harness task for one named technique on an
+// explicit workload shape — the entry point the serving layer uses to
+// evaluate a single technique per request. seed is the workload base
+// seed (perturbed per retry attempt); base is the block shape for
+// block-driven techniques.
+func TechniqueTask(t *tech.Tech, name string, seed int64, base layout.BlockOpts) (harness.Task, error) {
+	for _, d := range techniqueDefs {
+		if d.name != name {
+			continue
+		}
+		d := d
+		return harness.Task{Name: name, Run: func(ctx context.Context, attempt int) (any, error) {
+			o := d.run(ctx, t, seed, base, attempt)
+			return o, o.Err
+		}}, nil
+	}
+	return harness.Task{}, fmt.Errorf("%w: %q", ErrUnknownTechnique, name)
+}
+
 // TechniqueTasks builds the harness task list for every technique at
 // the given base seed, in the canonical scorecard order. Retry
 // attempts of workload-driven techniques run on perturbed seeds.
 func TechniqueTasks(t *tech.Tech, seed int64) []harness.Task {
-	blockOpts := func(attempt int) layout.BlockOpts {
-		return layout.BlockOpts{
-			Rows: 3, RowWidth: 10000, Nets: 15, MaxFan: 3,
-			Seed: PerturbSeed(seed, attempt),
-		}
+	tasks := make([]harness.Task, 0, len(techniqueDefs))
+	for _, d := range techniqueDefs {
+		task, _ := TechniqueTask(t, d.name, seed, DefaultBlock())
+		tasks = append(tasks, task)
 	}
-	mk := func(name string, fn func(ctx context.Context, attempt int) Outcome) harness.Task {
-		return harness.Task{Name: name, Run: func(ctx context.Context, attempt int) (any, error) {
-			o := fn(ctx, attempt)
-			return o, o.Err
-		}}
-	}
-	return []harness.Task{
-		mk("redundant-via", func(ctx context.Context, a int) Outcome {
-			return EvalRedundantVia(ctx, t, blockOpts(a))
-		}),
-		mk("dummy-fill", func(ctx context.Context, a int) Outcome {
-			return EvalDummyFill(ctx, t, blockOpts(a))
-		}),
-		mk("model-opc", func(ctx context.Context, a int) Outcome {
-			return EvalOPCAccuracy(ctx, t)
-		}),
-		mk("sraf", func(ctx context.Context, a int) Outcome {
-			return EvalSRAF(ctx, t)
-		}),
-		mk("drc-plus", func(ctx context.Context, a int) Outcome {
-			s := PerturbSeed(seed, a)
-			return EvalDRCPlus(ctx, t, s, s+1)
-		}),
-		mk("litho-aware-timing", func(ctx context.Context, a int) Outcome {
-			return EvalLithoTiming(ctx, t, PerturbSeed(seed, a))
-		}),
-		mk("restricted-rules", func(ctx context.Context, a int) Outcome {
-			return EvalRestrictedRules(ctx, t)
-		}),
-		mk("dpt-decomposition", func(ctx context.Context, a int) Outcome {
-			return EvalDPT(ctx, t, blockOpts(a))
-		}),
-	}
+	return tasks
 }
 
 // RunAll evaluates every technique with default workloads and returns

@@ -257,12 +257,17 @@ type Bucket struct {
 }
 
 // HistSnapshot is the serializable state of one histogram. Over
-// counts observations above the last bucket bound.
+// counts observations above the last bucket bound. P50/P95/P99 are
+// bucket-interpolated quantile estimates (see quantileFromCounts);
+// they are zero when the histogram is empty.
 type HistSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     float64  `json:"sum"`
 	Mean    float64  `json:"mean"`
 	Max     float64  `json:"max"`
+	P50     float64  `json:"p50,omitempty"`
+	P95     float64  `json:"p95,omitempty"`
+	P99     float64  `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"` // non-empty buckets only
 	Over    int64    `json:"over,omitempty"`
 }
@@ -306,15 +311,63 @@ func (r *Registry) Snapshot() Snapshot {
 			if hs.Count > 0 {
 				hs.Mean = hs.Sum / float64(hs.Count)
 			}
+			counts := make([]int64, len(h.counts))
+			for i := range h.counts {
+				counts[i] = h.counts[i].Load()
+			}
 			for i, b := range h.bounds {
-				if n := h.counts[i].Load(); n > 0 {
-					hs.Buckets = append(hs.Buckets, Bucket{LE: b, N: n})
+				if counts[i] > 0 {
+					hs.Buckets = append(hs.Buckets, Bucket{LE: b, N: counts[i]})
 				}
 			}
+			hs.P50 = quantileFromCounts(h.bounds, counts, hs.Max, 0.50)
+			hs.P95 = quantileFromCounts(h.bounds, counts, hs.Max, 0.95)
+			hs.P99 = quantileFromCounts(h.bounds, counts, hs.Max, 0.99)
 			s.Histograms[name] = hs
 		}
 	}
 	return s
+}
+
+// quantileFromCounts estimates the q-quantile of a fixed-bucket
+// histogram by linear interpolation inside the bucket the target rank
+// lands in (the Prometheus histogram_quantile scheme). The first
+// bucket interpolates up from 0; the overflow bucket interpolates
+// between the last bound and the observed max, so the estimate never
+// exceeds a value that was actually recorded. counts has
+// len(bounds)+1 entries, the last being the overflow bucket. Returns
+// 0 for an empty histogram.
+func quantileFromCounts(bounds []float64, counts []int64, max, q float64) float64 {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) < rank {
+			cum += n
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		// A populated bucket always holds a value in (lo, bound],
+		// so max > lo and the interpolation span stays positive.
+		hi := max
+		if i < len(bounds) && bounds[i] < max {
+			hi = bounds[i]
+		}
+		return lo + (hi-lo)*(rank-float64(cum))/float64(n)
+	}
+	return max
 }
 
 // SnapshotJSON renders the snapshot as indented JSON with a trailing

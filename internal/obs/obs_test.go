@@ -85,6 +85,71 @@ func TestHistogramBucketsAndStats(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	r.SetEnabled(true)
+	h := r.Histogram("q", []float64{10, 100, 1000})
+	// 100 values uniform in (0,100]: 1..100. Ranks interpolate inside
+	// the le=10 and le=100 buckets.
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	s := r.Snapshot().Histograms["q"]
+	// p50: rank 50 lands in the le=100 bucket (10 below it), lo=10,
+	// hi=100, (50-10)/90 of the span: 10 + 90*40/90 = 50.
+	if s.P50 != 50 {
+		t.Errorf("p50 = %v, want 50", s.P50)
+	}
+	if s.P95 != 95 {
+		t.Errorf("p95 = %v, want 95", s.P95)
+	}
+	if s.P99 != 99 {
+		t.Errorf("p99 = %v, want 99", s.P99)
+	}
+}
+
+func TestHistogramQuantileOverflowClampsToMax(t *testing.T) {
+	r := New()
+	r.SetEnabled(true)
+	h := r.Histogram("q", []float64{10})
+	h.Observe(5)
+	h.Observe(20000) // overflow bucket
+	h.Observe(40000) // overflow bucket
+	s := r.Snapshot().Histograms["q"]
+	// p99 rank 2.97 lands in the overflow bucket: interpolates between
+	// the last bound (10) and the observed max (40000) — never past a
+	// value that was actually recorded.
+	if s.P99 > s.Max {
+		t.Errorf("p99 = %v exceeds max %v", s.P99, s.Max)
+	}
+	if s.P99 <= 10 {
+		t.Errorf("p99 = %v, want inside the overflow span (10, %v]", s.P99, s.Max)
+	}
+	// All mass below the first bound: quantiles stay within (0, 10].
+	r2 := New()
+	r2.SetEnabled(true)
+	h2 := r2.Histogram("q2", []float64{10, 100})
+	h2.Observe(4)
+	h2.Observe(4)
+	s2 := r2.Snapshot().Histograms["q2"]
+	if s2.P99 > s2.Max {
+		t.Errorf("single-bucket p99 = %v exceeds max %v", s2.P99, s2.Max)
+	}
+	if s2.P50 <= 0 || s2.P50 > 4 {
+		t.Errorf("single-bucket p50 = %v, want in (0, 4]", s2.P50)
+	}
+}
+
+func TestHistogramQuantilesEmpty(t *testing.T) {
+	r := New()
+	r.SetEnabled(true)
+	r.Histogram("q", nil)
+	s := r.Snapshot().Histograms["q"]
+	if s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Errorf("empty histogram quantiles = %v/%v/%v, want zeros", s.P50, s.P95, s.P99)
+	}
+}
+
 func TestSpanRecordsElapsed(t *testing.T) {
 	r := New()
 	r.SetEnabled(true)

@@ -1,0 +1,108 @@
+// Package server is the serving layer over the DFM evaluation stack:
+// a long-lived HTTP JSON service (`cmd/dfmd`) that accepts technique
+// evaluation jobs, schedules them on a persistent harness worker
+// pool behind a bounded admission queue, deduplicates identical
+// in-flight requests (singleflight), and answers repeated layouts
+// from a content-addressed result cache. The in-design DFM-scoring
+// systems the paper discussion points at (shared rule-scoring and
+// litho-friendliness checkers) are exactly this shape: many
+// designers hammer one checking service with overlapping layouts,
+// and caching plus queueing — not kernel speed — set the latency
+// they see.
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/dfm"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// BlockSpec is the wire form of the synthetic workload shape
+// (layout.BlockOpts minus the seed, which travels separately so
+// retries can perturb it).
+type BlockSpec struct {
+	Rows     int   `json:"rows"`
+	RowWidth int64 `json:"rowWidth"`
+	Nets     int   `json:"nets"`
+	MaxFan   int   `json:"maxFan"`
+}
+
+// JobRequest is one evaluation request: a technique applied to a
+// deterministic workload on a named process node. Identical requests
+// (same technique, tech, seed, block) are identical work — the
+// service collapses them in flight and caches their result.
+type JobRequest struct {
+	// Technique is one of dfm.Techniques().
+	Technique string `json:"technique"`
+	// Tech names the process node: "N45" (default) or "N45R".
+	Tech string `json:"tech,omitempty"`
+	// Seed drives workload generation; same seed, same layout.
+	Seed int64 `json:"seed"`
+	// Block overrides the default workload shape (dfm.DefaultBlock).
+	Block *BlockSpec `json:"block,omitempty"`
+	// TimeoutMS caps the evaluation wall clock; 0 uses the server
+	// default, and the server clamps it to its configured maximum.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobStatus is the poll/submit response for one job.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Key is the content address of the request ("sha256:<hex>").
+	Key string `json:"key"`
+	// Cached marks a job answered from the result cache; Deduped
+	// marks one that joined an identical in-flight evaluation.
+	Cached  bool `json:"cached,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
+	// Result is set once State is done (or failed with a partial
+	// outcome); Error carries the failure summary for failed jobs.
+	Result *dfm.OutcomeView `json:"result,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	// RetryAfterMS accompanies 429 responses: the server's live
+	// estimate of when queue space frees up.
+	RetryAfterMS int64 `json:"retryAfterMs,omitempty"`
+}
+
+// resolveTech maps the wire tech name to a node.
+func resolveTech(name string) (*tech.Tech, error) {
+	switch name {
+	case "", "N45":
+		return tech.N45(), nil
+	case "N45R":
+		return tech.N45R(), nil
+	}
+	return nil, fmt.Errorf("unknown tech %q (want N45 or N45R)", name)
+}
+
+// resolveBlock applies the request's block override to the default
+// workload shape and validates it.
+func resolveBlock(spec *BlockSpec) (layout.BlockOpts, error) {
+	base := dfm.DefaultBlock()
+	if spec == nil {
+		return base, nil
+	}
+	if spec.Rows <= 0 || spec.RowWidth <= 0 || spec.Nets < 0 || spec.MaxFan < 0 {
+		return base, fmt.Errorf("invalid block spec %+v", *spec)
+	}
+	base.Rows = spec.Rows
+	base.RowWidth = spec.RowWidth
+	base.Nets = spec.Nets
+	base.MaxFan = spec.MaxFan
+	return base, nil
+}

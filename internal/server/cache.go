@@ -1,0 +1,71 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/dfm"
+)
+
+// resultCache is a content-addressed LRU of successful evaluation
+// outcomes. Only clean results are stored (a timeout or fault is not
+// a property of the layout), so a hit can always be served as done.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	outcome dfm.Outcome
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached outcome and refreshes its recency.
+func (c *resultCache) get(key string) (dfm.Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return dfm.Outcome{}, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).outcome, true
+}
+
+// put stores an outcome, evicting the least recently used entry past
+// capacity.
+func (c *resultCache) put(key string, o dfm.Outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.Value.(*cacheEntry).outcome = o
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, outcome: o})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dfm"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	o := func(n string) dfm.Outcome { return dfm.Outcome{Technique: n} }
+	c.put("a", o("a"))
+	c.put("b", o("b"))
+	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", o("c"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction despite being LRU")
+	}
+	if got, ok := c.get("a"); !ok || got.Technique != "a" {
+		t.Fatalf("a evicted or corrupted: %v %v", got, ok)
+	}
+	if got, ok := c.get("c"); !ok || got.Technique != "c" {
+		t.Fatalf("c missing: %v %v", got, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestResultCachePutExistingRefreshes(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", dfm.Outcome{Technique: "a1"})
+	c.put("b", dfm.Outcome{Technique: "b"})
+	c.put("a", dfm.Outcome{Technique: "a2"}) // update + refresh
+	c.put("c", dfm.Outcome{Technique: "c"})  // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived")
+	}
+	if got, _ := c.get("a"); got.Technique != "a2" {
+		t.Fatalf("a = %q, want updated a2", got.Technique)
+	}
+}
+
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(16)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		w := w
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w+i)%32)
+				c.put(k, dfm.Outcome{Technique: k})
+				if o, ok := c.get(k); ok && o.Technique != k {
+					t.Errorf("key %s returned %s", k, o.Technique)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if c.len() > 16 {
+		t.Fatalf("len = %d exceeds cap", c.len())
+	}
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/dfm"
+	"repro/internal/obs"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs            submit a JobRequest; ?wait=1 blocks for the result
+//	GET  /v1/jobs/{id}       poll a job's status
+//	GET  /v1/jobs/{id}/result  the settled outcome (202 while pending)
+//	GET  /v1/techniques      the technique registry
+//	GET  /healthz            200 serving / 503 draining
+//	GET  /metrics            server stats + obs registry snapshot
+//
+// Every body is JSON. Overload sheds with 429 plus a Retry-After
+// header derived from live queue signals; a draining server answers
+// 503 to new submissions.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/techniques", s.handleTechniques)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorBody{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	st, retryAfter, err := s.submit(req)
+	switch {
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	case errors.Is(err, errOverloaded):
+		// Retry-After is the live estimate of when queue room frees
+		// up, never below 1s (the header is whole seconds).
+		secs := int64(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeJSON(w, http.StatusTooManyRequests, ErrorBody{
+			Error:        "overloaded",
+			RetryAfterMS: retryAfter.Milliseconds(),
+		})
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		ws, ok, werr := s.wait(r.Context(), st.ID)
+		if werr != nil {
+			writeError(w, http.StatusRequestTimeout, "canceled while waiting: "+werr.Error())
+			return
+		}
+		if ok {
+			st = ws
+		}
+	}
+	code := http.StatusAccepted
+	if st.State == StateDone || st.State == StateFailed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if st.State != StateDone && st.State != StateFailed {
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleTechniques(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"techniques": dfm.Techniques()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metricsBody is the /metrics payload: always-on server stats plus
+// the obs registry snapshot (zeroed unless the registry is enabled).
+type metricsBody struct {
+	Server   Stats        `json:"server"`
+	Registry obs.Snapshot `json:"registry"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, metricsBody{
+		Server:   s.Stats(),
+		Registry: obs.Default().Snapshot(),
+	})
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// keySchema versions the canonical key payload; bump it whenever the
+// payload shape or any evaluator's semantics change, so stale cache
+// entries from an older build can never alias new requests.
+const keySchema = 1
+
+// keyPayload is the canonical content of a request: everything that
+// determines the evaluation result, nothing that does not (timeouts
+// and retry policy change whether a result arrives, not its value).
+// Field order is fixed by the struct, and encoding/json emits it
+// deterministically, so the marshaled bytes are a canonical form.
+type keyPayload struct {
+	Schema    int       `json:"schema"`
+	Technique string    `json:"technique"`
+	Tech      tech.Tech `json:"tech"` // full node params, not just the name
+	Seed      int64     `json:"seed"`
+	Rows      int       `json:"rows"`
+	RowWidth  int64     `json:"rowWidth"`
+	Nets      int       `json:"nets"`
+	MaxFan    int       `json:"maxFan"`
+}
+
+// requestKey returns the content address of a request:
+// "sha256:<hex>" over the canonical payload. Two requests with the
+// same key are the same work — the dedup and cache layers key on it.
+func requestKey(technique string, t *tech.Tech, seed int64, base layout.BlockOpts) string {
+	p := keyPayload{
+		Schema:    keySchema,
+		Technique: technique,
+		Tech:      *t,
+		Seed:      seed,
+		Rows:      base.Rows,
+		RowWidth:  base.RowWidth,
+		Nets:      base.Nets,
+		MaxFan:    base.MaxFan,
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		// Marshal of a plain struct of numbers/strings/slices cannot
+		// fail; a panic here means the payload type grew a channel.
+		panic("server: request key marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}

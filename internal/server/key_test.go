@@ -1,0 +1,44 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/dfm"
+	"repro/internal/tech"
+)
+
+func TestRequestKeyDeterministicAndDiscriminating(t *testing.T) {
+	base := dfm.DefaultBlock()
+	k1 := requestKey("sraf", tech.N45(), 11, base)
+	k2 := requestKey("sraf", tech.N45(), 11, base)
+	if k1 != k2 {
+		t.Fatalf("same request hashed differently: %s vs %s", k1, k2)
+	}
+
+	variants := map[string]string{
+		"technique": requestKey("dummy-fill", tech.N45(), 11, base),
+		"tech":      requestKey("sraf", tech.N45R(), 11, base),
+		"seed":      requestKey("sraf", tech.N45(), 12, base),
+	}
+	wider := base
+	wider.RowWidth++
+	variants["block"] = requestKey("sraf", tech.N45(), 11, wider)
+	seen := map[string]string{k1: "base"}
+	for what, k := range variants {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("changing %s collided with %s: %s", what, prev, k)
+		}
+		seen[k] = what
+	}
+}
+
+func TestRequestKeySeesTechParamDrift(t *testing.T) {
+	// Content addressing must key on the node's parameters, not its
+	// name: a retuned node is different work.
+	a := tech.N45()
+	b := tech.N45()
+	b.Optics.Threshold += 0.01
+	if requestKey("sraf", a, 1, dfm.DefaultBlock()) == requestKey("sraf", b, 1, dfm.DefaultBlock()) {
+		t.Fatal("tech parameter change did not change the key")
+	}
+}

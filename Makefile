@@ -21,8 +21,18 @@ DFMD_ADDR ?= 127.0.0.1:9517
 SERVEBENCH_OUT ?= BENCH_PR5.json
 # Load shape for servebench; see cmd/dfmload -h.
 SERVEBENCH_FLAGS ?= -rate 150 -duration 8s -dup 0.5 -unique 24 -techniques sraf,redundant-via -seed 1
+# Cluster chaos benchmark (PR6's record): 3 in-process dfmd backends
+# behind dfmrouter, backend n0 hard-killed mid-run and restarted, run
+# once under affinity routing and once under round-robin. The two
+# headline numbers are BenchmarkCluster*FailedReqs (must stay 0 —
+# every request survives the kill via failover) and
+# BenchmarkCluster*CacheHitPermil (affinity should beat round-robin
+# at 50% duplicate traffic, because duplicates land on the replica
+# whose cache already holds them).
+CLUSTERBENCH_OUT ?= BENCH_PR6.json
+CLUSTERBENCH_FLAGS ?= -cluster 3 -rate 150 -duration 8s -dup 0.5 -unique 24 -techniques sraf,redundant-via -seed 1 -kill 2s -restart 4s -retries 3
 
-.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check servebench
+.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check servebench clusterbench
 
 tier1: ## build + vet + gofmt gate + full tests under the race detector
 	$(GO) build ./...
@@ -65,3 +75,10 @@ servebench: ## serving benchmark: dfmd + dfmload -> $(SERVEBENCH_OUT)
 	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT; \
 	./bin/dfmload -addr http://$(DFMD_ADDR) -bench $(SERVEBENCH_FLAGS) \
 		| $(GO) run ./cmd/benchjson -o $(SERVEBENCH_OUT)
+
+clusterbench: ## chaos benchmark: router + 3 backends, n0 killed mid-run -> $(CLUSTERBENCH_OUT)
+	$(GO) build -o bin/dfmload ./cmd/dfmload
+	@set -e; \
+	{ ./bin/dfmload -bench $(CLUSTERBENCH_FLAGS) -policy affinity; \
+	  ./bin/dfmload -bench $(CLUSTERBENCH_FLAGS) -policy round-robin; } \
+		| $(GO) run ./cmd/benchjson -o $(CLUSTERBENCH_OUT)

@@ -8,16 +8,28 @@
 //
 // Usage:
 //
-//	dfmload [-addr URL | -selfserve] [-rate R] [-duration D] [-dup F]
-//	        [-unique N] [-techniques a,b] [-seed N] [-timeout D]
-//	        [-wait-ready D] [-bench]
+//	dfmload [-addr URL | -selfserve | -cluster N] [-rate R] [-duration D]
+//	        [-dup F] [-unique N] [-techniques a,b] [-seed N] [-timeout D]
+//	        [-retries N] [-wait-ready D] [-bench]
+//	        [-policy P] [-kill D] [-restart D]   (cluster mode)
+//
+// Cluster mode (-cluster N) starts N in-process dfmd backends behind
+// an in-process dfmrouter and aims the load at the router. -kill D
+// hard-kills backend n0 (listener and all live connections dropped) D
+// after the load starts; -restart D brings a fresh dfmd up on the
+// same port. That is the chaos experiment: an open-loop burst, a node
+// dying mid-burst, and the router's failover path on the hook for
+// every in-flight request. The report adds router counters
+// (failovers, evictions, reinstatements) and the cluster-wide cache
+// hit rate — the number that decides whether affinity routing is hit
+// or hype versus round-robin.
 //
 // The report prints sent/ok/shed/failed counts, client-side
 // p50/p95/p99/max end-to-end latency, and the server's own counters
-// (admitted, deduped, cache hits) read from /metrics. With -bench the
-// percentiles are also emitted as `go test -bench`-shaped lines so
-// `benchjson` can fold a serving run into the benchmark trend record
-// (`make servebench`).
+// read from /metrics. With -bench the percentiles are also emitted as
+// `go test -bench`-shaped lines so `benchjson` can fold a serving run
+// into the benchmark trend record (`make servebench`,
+// `make clusterbench`).
 package main
 
 import (
@@ -36,12 +48,36 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/obs"
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
+type loadCfg struct {
+	addr       string
+	selfserve  bool
+	cluster    int
+	policy     string
+	kill       time.Duration
+	restart    time.Duration
+	rate       float64
+	duration   time.Duration
+	dup        float64
+	unique     int
+	techniques []string
+	seed       int64
+	timeout    time.Duration
+	retries    int
+	waitReady  time.Duration
+	bench      bool
+}
+
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:9517", "dfmd base URL")
+	addr := flag.String("addr", "http://127.0.0.1:9517", "dfmd (or dfmrouter) base URL")
 	selfserve := flag.Bool("selfserve", false, "start an in-process dfmd on an ephemeral port instead of dialing -addr")
+	cluster := flag.Int("cluster", 0, "start N in-process dfmd backends behind an in-process dfmrouter")
+	policy := flag.String("policy", "affinity", "cluster routing policy: affinity, least-loaded, or round-robin")
+	kill := flag.Duration("kill", 0, "cluster mode: hard-kill backend n0 this long after the load starts (0 = never)")
+	restart := flag.Duration("restart", 0, "cluster mode: restart the killed backend this long after the load starts (0 = never)")
 	rate := flag.Float64("rate", 50, "open-loop arrival rate, requests/second")
 	duration := flag.Duration("duration", 5*time.Second, "load duration")
 	dup := flag.Float64("dup", 0.5, "fraction of requests that duplicate an earlier one")
@@ -49,36 +85,52 @@ func main() {
 	techniques := flag.String("techniques", "sraf", "comma-separated techniques to request")
 	seed := flag.Int64("seed", 1, "generator seed (same seed, same request stream)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	retries := flag.Int("retries", 0, "client-side retries per request (client.EvalWithRetry)")
 	waitReady := flag.Duration("wait-ready", 10*time.Second, "poll /healthz this long for the server to come up")
 	bench := flag.Bool("bench", false, "emit benchmark-format result lines for benchjson")
 	flag.Parse()
 
-	if err := run(*addr, *selfserve, *rate, *duration, *dup, *unique,
-		strings.Split(*techniques, ","), *seed, *timeout, *waitReady, *bench); err != nil {
+	cfg := loadCfg{
+		addr: *addr, selfserve: *selfserve, cluster: *cluster,
+		policy: *policy, kill: *kill, restart: *restart,
+		rate: *rate, duration: *duration, dup: *dup, unique: *unique,
+		techniques: strings.Split(*techniques, ","), seed: *seed,
+		timeout: *timeout, retries: *retries, waitReady: *waitReady,
+		bench: *bench,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dfmload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, selfserve bool, rate float64, duration time.Duration,
-	dup float64, unique int, techniques []string, seed int64,
-	timeout, waitReady time.Duration, bench bool) error {
-	if rate <= 0 || duration <= 0 {
+func run(cfg loadCfg) error {
+	if cfg.rate <= 0 || cfg.duration <= 0 {
 		return fmt.Errorf("need positive -rate and -duration")
 	}
-	if selfserve {
+	var cl *clusterHarness
+	switch {
+	case cfg.cluster > 0:
+		var err error
+		cl, err = startCluster(cfg.cluster, cfg.policy)
+		if err != nil {
+			return err
+		}
+		defer cl.stop()
+		cfg.addr = cl.routerURL
+	case cfg.selfserve:
 		stop, url, err := startInProcess()
 		if err != nil {
 			return err
 		}
 		defer stop()
-		addr = url
+		cfg.addr = url
 	}
-	c := client.New(addr, nil)
+	c := client.New(cfg.addr, nil)
 
 	// Readiness: a cold dfmd (or one still binding) answers within
 	// the wait-ready budget; the clock starts only once it does.
-	readyCtx, cancel := context.WithTimeout(context.Background(), waitReady)
+	readyCtx, cancel := context.WithTimeout(context.Background(), cfg.waitReady)
 	defer cancel()
 	for {
 		if err := c.Healthz(readyCtx); err == nil {
@@ -86,36 +138,44 @@ func run(addr string, selfserve bool, rate float64, duration time.Duration,
 		}
 		select {
 		case <-readyCtx.Done():
-			return fmt.Errorf("server at %s not ready within %v", addr, waitReady)
+			return fmt.Errorf("server at %s not ready within %v", cfg.addr, cfg.waitReady)
 		case <-time.After(100 * time.Millisecond):
 		}
 	}
 
 	// Deterministic request stream: every arrival is drawn up front.
-	rng := rand.New(rand.NewSource(seed))
-	total := int(rate * duration.Seconds())
+	rng := rand.New(rand.NewSource(cfg.seed))
+	total := int(cfg.rate * cfg.duration.Seconds())
 	if total < 1 {
 		total = 1
 	}
-	interval := time.Duration(float64(time.Second) / rate)
+	interval := time.Duration(float64(time.Second) / cfg.rate)
 	reqs := make([]server.JobRequest, total)
 	var used []server.JobRequest
 	for i := range reqs {
-		if len(used) > 0 && rng.Float64() < dup {
+		if len(used) > 0 && rng.Float64() < cfg.dup {
 			reqs[i] = used[rng.Intn(len(used))]
 		} else {
 			reqs[i] = server.JobRequest{
-				Technique: techniques[rng.Intn(len(techniques))],
-				Seed:      seed + int64(rng.Intn(unique)),
+				Technique: cfg.techniques[rng.Intn(len(cfg.techniques))],
+				Seed:      cfg.seed + int64(rng.Intn(cfg.unique)),
 			}
 			used = append(used, reqs[i])
 		}
 	}
 
-	before, _, err := c.Metrics(context.Background())
-	if err != nil {
-		return fmt.Errorf("metrics before run: %w", err)
+	var before server.Stats
+	if cl == nil {
+		var err error
+		before, _, err = c.Metrics(context.Background())
+		if err != nil {
+			return fmt.Errorf("metrics before run: %w", err)
+		}
 	}
+
+	// One shared retry policy: the same battle-tested backoff loop
+	// the router uses internally, seeded for a reproducible schedule.
+	retryPolicy := client.NewRetryPolicy(cfg.retries+1, cfg.seed)
 
 	type outcome struct {
 		lat    time.Duration
@@ -126,6 +186,9 @@ func run(addr string, selfserve bool, rate float64, duration time.Duration,
 	outs := make([]outcome, total)
 	var wg sync.WaitGroup
 	start := time.Now()
+	if cl != nil {
+		cl.schedule(start, cfg.kill, cfg.restart)
+	}
 	for i := range reqs {
 		// Open loop: fire at the scheduled instant no matter how many
 		// responses are still outstanding.
@@ -135,10 +198,10 @@ func run(addr string, selfserve bool, rate float64, duration time.Duration,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 			defer cancel()
 			t0 := time.Now()
-			st, err := c.Eval(ctx, reqs[i])
+			st, err := c.EvalWithRetry(ctx, reqs[i], retryPolicy)
 			lat := time.Since(t0)
 			switch {
 			case err == nil && st.State == server.StateDone:
@@ -190,7 +253,7 @@ func run(addr string, selfserve bool, rate float64, duration time.Duration,
 	}
 
 	fmt.Printf("dfmload: %d requests over %.1fs (open-loop %.1f/s, dup %.0f%%, %d unique): %d ok, %d shed, %d failed\n",
-		total, elapsed.Seconds(), rate, 100*dup, unique, ok, shed, failed)
+		total, elapsed.Seconds(), cfg.rate, 100*cfg.dup, cfg.unique, ok, shed, failed)
 	if ok > 0 {
 		fmt.Printf("client e2e latency: p50 %v  p95 %v  p99 %v  max %v\n",
 			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
@@ -198,25 +261,40 @@ func run(addr string, selfserve bool, rate float64, duration time.Duration,
 		fmt.Printf("served from: %d cache hits, %d deduped in-flight, %d fresh evaluations (client view)\n",
 			cached, dedup, ok-cached-dedup)
 	}
-	after, _, err := c.Metrics(context.Background())
-	if err != nil {
-		return fmt.Errorf("metrics after run: %w", err)
+
+	benchName := "Serve"
+	var hitPermil int64 = -1
+	if cl != nil {
+		benchName = "Cluster" + cl.benchName
+		hitPermil = cl.report()
+	} else {
+		after, _, err := c.Metrics(context.Background())
+		if err != nil {
+			return fmt.Errorf("metrics after run: %w", err)
+		}
+		fmt.Printf("server counters (this run): admitted=%d shed=%d deduped=%d cacheHits=%d cacheMisses=%d completed=%d failed=%d\n",
+			after.Admitted-before.Admitted, after.Shed-before.Shed,
+			after.Deduped-before.Deduped, after.CacheHits-before.CacheHits,
+			after.CacheMisses-before.CacheMisses, after.Completed-before.Completed,
+			after.Failed-before.Failed)
 	}
-	fmt.Printf("server counters (this run): admitted=%d shed=%d deduped=%d cacheHits=%d cacheMisses=%d completed=%d failed=%d\n",
-		after.Admitted-before.Admitted, after.Shed-before.Shed,
-		after.Deduped-before.Deduped, after.CacheHits-before.CacheHits,
-		after.CacheMisses-before.CacheMisses, after.Completed-before.Completed,
-		after.Failed-before.Failed)
 	fmt.Printf("sustained throughput: %.1f ok/s\n", float64(ok)/elapsed.Seconds())
 
-	if bench && ok > 0 {
+	if cfg.bench && ok > 0 {
 		// benchjson-parseable lines: iterations = completed requests,
 		// ns/op = the percentile (or mean inter-completion time for
 		// the throughput line).
-		fmt.Printf("BenchmarkServeE2Ep50 \t%8d\t%12.0f ns/op\n", ok, float64(pct(0.50)))
-		fmt.Printf("BenchmarkServeE2Ep95 \t%8d\t%12.0f ns/op\n", ok, float64(pct(0.95)))
-		fmt.Printf("BenchmarkServeE2Ep99 \t%8d\t%12.0f ns/op\n", ok, float64(pct(0.99)))
-		fmt.Printf("BenchmarkServeThroughput \t%8d\t%12.0f ns/op\n", ok, float64(elapsed)/float64(ok))
+		fmt.Printf("Benchmark%sE2Ep50 \t%8d\t%12.0f ns/op\n", benchName, ok, float64(pct(0.50)))
+		fmt.Printf("Benchmark%sE2Ep95 \t%8d\t%12.0f ns/op\n", benchName, ok, float64(pct(0.95)))
+		fmt.Printf("Benchmark%sE2Ep99 \t%8d\t%12.0f ns/op\n", benchName, ok, float64(pct(0.99)))
+		fmt.Printf("Benchmark%sThroughput \t%8d\t%12.0f ns/op\n", benchName, ok, float64(elapsed)/float64(ok))
+		if hitPermil >= 0 {
+			// Cluster-wide cache hit rate in permil (hits per 1000
+			// admissions across all backends) and the failed-request
+			// count — the two headline numbers of the chaos run.
+			fmt.Printf("Benchmark%sCacheHitPermil \t%8d\t%12.0f ns/op\n", benchName, ok, float64(hitPermil))
+			fmt.Printf("Benchmark%sFailedReqs \t%8d\t%12.0f ns/op\n", benchName, total, float64(failed))
+		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d requests failed", failed)
@@ -246,4 +324,195 @@ func startInProcess() (stop func(), url string, err error) {
 		srv.Shutdown(ctx)
 		hs.Close()
 	}, "http://" + ln.Addr().String(), nil
+}
+
+// backendProc is one in-process dfmd "node": its server, HTTP
+// front, and the fixed address it must come back on after a kill.
+// The mutex covers srv/hs handle swaps: the chaos timers replace them
+// from their own goroutines while the reporter reads them.
+type backendProc struct {
+	addr string
+
+	mu  sync.Mutex
+	srv *server.Server
+	hs  *http.Server
+}
+
+func (b *backendProc) start() error {
+	ln, err := net.Listen("tcp", b.addr)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{})
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // closed on kill/stop
+	b.mu.Lock()
+	b.srv, b.hs = srv, hs
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *backendProc) handles() (*server.Server, *http.Server) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.srv, b.hs
+}
+
+// kill is abrupt: the listener and every live connection drop with a
+// reset, exactly what a crashed process looks like to the router.
+// The evaluation pool is then reaped so the dead node leaks nothing.
+func (b *backendProc) kill() server.Stats {
+	srv, hs := b.handles()
+	st := srv.Stats()
+	hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	return st
+}
+
+// clusterHarness is the in-process chaos rig: N dfmd backends, one
+// dfmrouter, and a kill/restart schedule for backend n0.
+type clusterHarness struct {
+	backends  []*backendProc
+	rt        *router.Router
+	rhs       *http.Server
+	routerURL string
+	benchName string
+
+	mu      sync.Mutex
+	retired []server.Stats // stats captured from killed backend instances
+	timers  []*time.Timer
+}
+
+func startCluster(n int, policy string) (*clusterHarness, error) {
+	obs.SetEnabled(true)
+	cl := &clusterHarness{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		b := &backendProc{addr: addr}
+		if err := b.start(); err != nil {
+			return nil, err
+		}
+		cl.backends = append(cl.backends, b)
+		urls[i] = "http://" + addr
+	}
+	rt, err := router.New(router.Config{
+		Backends: urls,
+		Policy:   policy,
+		// Snappy chaos settings: evict within ~300ms of a node dying,
+		// reinstate within ~300ms of it proving recovery. The breaker
+		// reacts faster still on the data path.
+		CheckInterval:   100 * time.Millisecond,
+		CheckTimeout:    500 * time.Millisecond,
+		FailAfter:       2,
+		RiseAfter:       2,
+		BreakerCooldown: 500 * time.Millisecond,
+		MaxAttempts:     4,
+		AttemptTimeout:  10 * time.Second,
+		Logf:            func(f string, a ...any) { fmt.Printf("  ["+f+"]\n", a...) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl.rt = rt
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	cl.rhs = &http.Server{Handler: rt.Handler()}
+	go cl.rhs.Serve(ln) //nolint:errcheck // closed on stop
+	cl.routerURL = "http://" + ln.Addr().String()
+	switch rt.Stats().Policy {
+	case "affinity":
+		cl.benchName = "Affinity"
+	case "least-loaded":
+		cl.benchName = "LeastLoaded"
+	default:
+		cl.benchName = "RoundRobin"
+	}
+	fmt.Printf("cluster: %d backends behind %s router at %s\n", n, rt.Stats().Policy, cl.routerURL)
+	return cl, nil
+}
+
+// schedule arms the chaos timers relative to the load start.
+func (cl *clusterHarness) schedule(start time.Time, kill, restart time.Duration) {
+	if kill <= 0 {
+		return
+	}
+	cl.timers = append(cl.timers, time.AfterFunc(time.Until(start.Add(kill)), func() {
+		st := cl.backends[0].kill()
+		cl.mu.Lock()
+		cl.retired = append(cl.retired, st)
+		cl.mu.Unlock()
+		fmt.Printf("  [chaos: backend n0 killed at +%v]\n", kill)
+	}))
+	if restart > kill {
+		cl.timers = append(cl.timers, time.AfterFunc(time.Until(start.Add(restart)), func() {
+			if err := cl.backends[0].start(); err != nil {
+				fmt.Printf("  [chaos: backend n0 restart FAILED: %v]\n", err)
+				return
+			}
+			fmt.Printf("  [chaos: backend n0 restarted at +%v]\n", restart)
+		}))
+	}
+}
+
+// report prints the cluster-side accounting and returns the
+// cluster-wide cache hit rate in permil.
+func (cl *clusterHarness) report() int64 {
+	cl.mu.Lock()
+	sums := append([]server.Stats(nil), cl.retired...)
+	cl.mu.Unlock()
+	for _, b := range cl.backends {
+		srv, _ := b.handles()
+		sums = append(sums, srv.Stats())
+	}
+	var hits, misses, deduped, completed, evals int64
+	for _, s := range sums {
+		hits += s.CacheHits
+		misses += s.CacheMisses
+		deduped += s.Deduped
+		completed += s.Completed
+		evals += s.CacheMisses
+	}
+	rs := cl.rt.Stats()
+	fmt.Printf("cluster backends: cacheHits=%d cacheMisses=%d deduped=%d completed=%d (fresh evaluations=%d)\n",
+		hits, misses, deduped, completed, evals)
+	var permil int64
+	if hits+misses > 0 {
+		permil = hits * 1000 / (hits + misses)
+	}
+	fmt.Printf("cluster-wide cache hit rate: %.1f%% (policy=%s)\n",
+		float64(permil)/10, rs.Policy)
+	fmt.Printf("router: ok=%d failed=%d retries=%d failovers=%d breakerBlocked=%d budgetDenied=%d\n",
+		rs.OK, rs.Failed, rs.Retries, rs.Failovers, rs.BreakerBlocked, rs.BudgetDenied)
+	for _, b := range rs.Backends {
+		fmt.Printf("  backend %s: up=%v picks=%d oks=%d fails=%d sheds=%d evictions=%d reinstates=%d\n",
+			b.Name, b.Up, b.Picks, b.OKs, b.Fails, b.Sheds, b.Evictions, b.Reinstates)
+	}
+	return permil
+}
+
+func (cl *clusterHarness) stop() {
+	for _, t := range cl.timers {
+		t.Stop()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cl.rt.Shutdown(ctx)
+	cl.rhs.Close()
+	// A killed-and-not-restarted backend was already shut down by
+	// kill(); Shutdown and Close are both idempotent, so sweep all.
+	for _, b := range cl.backends {
+		srv, hs := b.handles()
+		srv.Shutdown(ctx)
+		hs.Close()
+	}
 }

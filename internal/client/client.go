@@ -20,6 +20,11 @@ import (
 	"repro/internal/server"
 )
 
+// MinRetryAfter is the floor applied to server retry hints. A zero or
+// missing hint must never reach callers: naive retry loops would spin
+// on it, hammering a server that just said it was overloaded.
+const MinRetryAfter = 100 * time.Millisecond
+
 // Overloaded is the typed form of a 429 shed.
 type Overloaded struct {
 	// RetryAfter is the server's live estimate of when queue room
@@ -85,11 +90,19 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	case resp.StatusCode == http.StatusTooManyRequests:
 		var eb server.ErrorBody
 		json.NewDecoder(resp.Body).Decode(&eb) //nolint:errcheck // best-effort detail
+		// The JSON hint carries millisecond precision; the header is
+		// whole seconds, so a sub-second hint would round to 0 there
+		// and send naive callers into a busy loop. Prefer the JSON
+		// field, fall back to the header (fractional values allowed),
+		// and clamp whatever survives to a sane floor.
 		ra := time.Duration(eb.RetryAfterMS) * time.Millisecond
 		if ra == 0 {
-			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
-				ra = time.Duration(secs) * time.Second
+			if secs, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64); err == nil && secs > 0 {
+				ra = time.Duration(secs * float64(time.Second))
 			}
+		}
+		if ra < MinRetryAfter {
+			ra = MinRetryAfter
 		}
 		return &Overloaded{RetryAfter: ra}
 	case resp.StatusCode == http.StatusServiceUnavailable:
@@ -163,6 +176,19 @@ func (c *Client) Techniques(ctx context.Context) ([]string, error) {
 // Healthz reports nil when the server is accepting work.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// HealthDeep fetches the deep health probe: drain state plus live
+// queue saturation. A draining server answers 503, which do maps to
+// ErrDraining before the body is read; callers get a synthesized
+// draining status alongside the error so eviction logic has one path.
+func (c *Client) HealthDeep(ctx context.Context) (server.HealthStatus, error) {
+	var h server.HealthStatus
+	err := c.do(ctx, http.MethodGet, "/healthz?deep=1", nil, &h)
+	if errors.Is(err, ErrDraining) {
+		h = server.HealthStatus{Status: "draining", Draining: true}
+	}
+	return h, err
 }
 
 // Metrics fetches the server stats and registry snapshot.

@@ -1,0 +1,95 @@
+package router
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+)
+
+// Backend is one dfmd node behind the router: its client, its health
+// state as seen by the active checker, its circuit breaker on the
+// data path, and the live load signal the least-loaded policy sorts
+// on.
+type Backend struct {
+	// Name is the stable routing identity ("n0", "n1", ...): it keys
+	// the hash ring and prefixes job IDs, so a backend that restarts
+	// on the same slot keeps its ring arcs and its outstanding jobs
+	// stay resolvable.
+	Name string
+	// URL is the node's base URL.
+	URL string
+
+	cl      *client.Client
+	breaker *breaker
+
+	// up is the health checker's verdict. Backends start up
+	// (optimistic): the first data-path failures trip the breaker
+	// long before the probe loop could notice.
+	up atomic.Bool
+	// estWaitNs mirrors the node's own admission wait estimate from
+	// the deep health probe — the same signal it sheds on.
+	estWaitNs atomic.Int64
+	// inflight counts requests this router currently has against the
+	// node; it breaks least-loaded ties between equally idle nodes.
+	inflight atomic.Int64
+
+	// always-on accounting, surfaced in /metrics.
+	picks, oks, fails, sheds atomic.Int64
+	evictions, reinstates    atomic.Int64
+
+	// probe bookkeeping, touched only by the health loop.
+	consecFail, consecOK int
+}
+
+func newBackend(name, url string, hc *http.Client, brThreshold int, brCooldown time.Duration, now func() time.Time) *Backend {
+	b := &Backend{
+		Name:    name,
+		URL:     url,
+		cl:      client.New(url, hc),
+		breaker: newBreaker(brThreshold, brCooldown, now),
+	}
+	b.up.Store(true)
+	return b
+}
+
+// Up reports the health checker's current verdict.
+func (b *Backend) Up() bool { return b.up.Load() }
+
+// Client exposes the backend's typed client (job status forwarding).
+func (b *Backend) Client() *client.Client { return b.cl }
+
+// BackendStatus is the per-backend slice of the router's /metrics
+// body.
+type BackendStatus struct {
+	Name       string  `json:"name"`
+	URL        string  `json:"url"`
+	Up         bool    `json:"up"`
+	Breaker    string  `json:"breaker"`
+	EstWaitMS  float64 `json:"estWaitMs"`
+	InFlight   int64   `json:"inFlight"`
+	Picks      int64   `json:"picks"`
+	OKs        int64   `json:"oks"`
+	Fails      int64   `json:"fails"`
+	Sheds      int64   `json:"sheds"`
+	Evictions  int64   `json:"evictions"`
+	Reinstates int64   `json:"reinstates"`
+}
+
+func (b *Backend) status() BackendStatus {
+	return BackendStatus{
+		Name:       b.Name,
+		URL:        b.URL,
+		Up:         b.up.Load(),
+		Breaker:    b.breaker.snapshot(),
+		EstWaitMS:  float64(b.estWaitNs.Load()) / 1e6,
+		InFlight:   b.inflight.Load(),
+		Picks:      b.picks.Load(),
+		OKs:        b.oks.Load(),
+		Fails:      b.fails.Load(),
+		Sheds:      b.sheds.Load(),
+		Evictions:  b.evictions.Load(),
+		Reinstates: b.reinstates.Load(),
+	}
+}

@@ -1,0 +1,133 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-backend circuit breaker over the data path. Health
+// probes run on an interval; the breaker reacts at request speed in
+// the gap between probes — a backend that starts refusing connections
+// stops receiving traffic after Threshold consecutive failures, not
+// after the next probe tick.
+//
+// States: closed (traffic flows), open (no traffic until Cooldown
+// passes), half-open (exactly one trial request; success closes the
+// breaker, failure re-opens it and restarts the cooldown).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for deterministic tests
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open trial is in flight
+}
+
+type breakerState int
+
+const (
+	stClosed breakerState = iota
+	stOpen
+	stHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stClosed:
+		return "closed"
+	case stOpen:
+		return "open"
+	case stHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may proceed. In the open state the
+// first call after the cooldown flips to half-open and claims the
+// single trial slot; concurrent callers keep getting false until the
+// trial settles.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stClosed:
+		return true
+	case stOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = stHalfOpen
+		b.probing = true
+		return true
+	case stHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// success reports a request that completed against the backend
+// (including server-level pushback like 429 — the node is alive).
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure reports a transport-level failure. The half-open trial
+// failing re-opens immediately; closed-state failures accumulate to
+// the threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stHalfOpen:
+		b.state = stOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case stClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = stOpen
+			b.openedAt = b.now()
+			b.fails = 0
+		}
+	}
+}
+
+// reset force-closes the breaker; the health checker calls it when a
+// backend passes its reinstatement probes so fresh traffic is not
+// blocked by stale data-path history.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// snapshot returns the current state name for metrics.
+func (b *breaker) snapshot() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

@@ -1,0 +1,110 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives breaker cooldowns without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker blocked request %d", i)
+		}
+		b.failure()
+	}
+	if b.snapshot() != "closed" {
+		t.Fatalf("state after 2 failures = %s, want closed", b.snapshot())
+	}
+	b.failure()
+	if b.snapshot() != "open" {
+		t.Fatalf("state after 3rd failure = %s, want open", b.snapshot())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, clk.now)
+	b.failure() // open
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but trial denied")
+	}
+	if b.snapshot() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.snapshot())
+	}
+	// Exactly one trial: concurrent requests stay blocked while it
+	// is outstanding.
+	if b.allow() {
+		t.Fatal("second trial admitted while first is in flight")
+	}
+	b.success()
+	if b.snapshot() != "closed" {
+		t.Fatalf("state after trial success = %s, want closed", b.snapshot())
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker blocked traffic after recovery")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, clk.now)
+	b.failure()
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("trial denied")
+	}
+	b.failure() // trial failed: back to open, cooldown restarts
+	if b.snapshot() != "open" {
+		t.Fatalf("state = %s, want open", b.snapshot())
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted before the fresh cooldown elapsed")
+	}
+	clk.advance(time.Millisecond)
+	if !b.allow() {
+		t.Fatal("trial denied after fresh cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+	b.failure()
+	b.failure()
+	b.success() // streak broken
+	b.failure()
+	b.failure()
+	if b.snapshot() != "closed" {
+		t.Fatalf("non-consecutive failures opened the breaker (state %s)", b.snapshot())
+	}
+	b.failure()
+	if b.snapshot() != "open" {
+		t.Fatalf("3 consecutive failures did not open (state %s)", b.snapshot())
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Hour, clk.now)
+	b.failure()
+	if b.allow() {
+		t.Fatal("open breaker admitted")
+	}
+	b.reset() // health checker reinstated the node
+	if !b.allow() {
+		t.Fatal("reset breaker still blocking")
+	}
+}

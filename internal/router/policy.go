@@ -1,0 +1,115 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Policy orders the backends a request should try. The router walks
+// the order, skipping evicted and breaker-blocked nodes; retries
+// continue down the same order, so a policy's ranking is also its
+// failover plan.
+type Policy interface {
+	Name() string
+	// Order ranks all backends for the request's content key. It must
+	// not filter by health — the router does that, and re-filters on
+	// every retry, so rankings stay valid as nodes flap.
+	Order(key string, backends []*Backend) []*Backend
+}
+
+// NewPolicy builds a policy by flag name: "round-robin",
+// "least-loaded", or "affinity" (which needs the backend names and a
+// virtual-node count for its hash ring).
+func NewPolicy(name string, backendNames []string, vnodes int) (Policy, error) {
+	switch name {
+	case "round-robin", "rr":
+		return &roundRobin{}, nil
+	case "least-loaded", "least":
+		return &leastLoaded{}, nil
+	case "affinity":
+		return &affinity{ring: newRing(backendNames, vnodes)}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (want round-robin, least-loaded, or affinity)", name)
+}
+
+// roundRobin rotates the start position across requests; the rest of
+// the order continues around the circle so failover spreads too.
+type roundRobin struct {
+	next atomic.Uint64
+}
+
+func (p *roundRobin) Name() string { return "round-robin" }
+
+func (p *roundRobin) Order(key string, backends []*Backend) []*Backend {
+	n := len(backends)
+	if n == 0 {
+		return nil
+	}
+	start := int(p.next.Add(1)-1) % n
+	out := make([]*Backend, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, backends[(start+i)%n])
+	}
+	return out
+}
+
+// leastLoaded sorts by each node's own admission wait estimate (the
+// backlog×EWMA÷workers signal its /healthz?deep=1 reports), breaking
+// ties with the router's in-flight count against the node, then by
+// name for determinism.
+type leastLoaded struct{}
+
+func (p *leastLoaded) Name() string { return "least-loaded" }
+
+func (p *leastLoaded) Order(key string, backends []*Backend) []*Backend {
+	out := append([]*Backend(nil), backends...)
+	sort.SliceStable(out, func(a, b int) bool {
+		wa, wb := out[a].estWaitNs.Load(), out[b].estWaitNs.Load()
+		if wa != wb {
+			return wa < wb
+		}
+		ia, ib := out[a].inflight.Load(), out[b].inflight.Load()
+		if ia != ib {
+			return ia < ib
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+// affinity routes by content address: the consistent-hash ring sends
+// every request for the same key to the same node, so the per-node
+// LRU caches tile the keyspace instead of each holding a diluted
+// copy — a global cache with no shared store. Failover follows ring
+// order, keeping a down node's keys concentrated on one successor.
+type affinity struct {
+	ring *ring
+}
+
+func (p *affinity) Name() string { return "affinity" }
+
+func (p *affinity) Order(key string, backends []*Backend) []*Backend {
+	byName := make(map[string]*Backend, len(backends))
+	for _, b := range backends {
+		byName[b.Name] = b
+	}
+	out := make([]*Backend, 0, len(backends))
+	for _, name := range p.ring.seq(key, len(backends)) {
+		if b, ok := byName[name]; ok {
+			out = append(out, b)
+			delete(byName, name)
+		}
+	}
+	// Backends absent from the ring (never expected, but a config
+	// mismatch must not strand capacity) go last in name order.
+	if len(byName) > 0 {
+		rest := make([]*Backend, 0, len(byName))
+		for _, b := range byName {
+			rest = append(rest, b)
+		}
+		sort.Slice(rest, func(a, b int) bool { return rest[a].Name < rest[b].Name })
+		out = append(out, rest...)
+	}
+	return out
+}

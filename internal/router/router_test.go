@@ -1,0 +1,547 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/server"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// node is one real dfmd backend on a real listener, with an abrupt
+// kill: the listener and every live connection drop at once, which is
+// what a crashed process looks like from the router.
+type node struct {
+	srv *server.Server
+	hs  *http.Server
+	url string
+}
+
+func startNode(t *testing.T) *node {
+	t.Helper()
+	s := server.New(server.Config{Workers: 2, Queue: 32, MaxWait: time.Hour})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // closed by kill/cleanup
+	n := &node{srv: s, hs: hs, url: "http://" + ln.Addr().String()}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		n.srv.Shutdown(ctx)
+		n.hs.Close()
+	})
+	return n
+}
+
+func (n *node) kill() {
+	n.hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	n.srv.Shutdown(ctx)
+}
+
+func (n *node) host() string { return strings.TrimPrefix(n.url, "http://") }
+
+func quiet(string, ...any) {}
+
+func urls(nodes []*node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.url
+	}
+	return out
+}
+
+// seedsOwnedBy returns `count` workload seeds whose affinity primary
+// is the named backend, derived from the same ring the router builds
+// — fully deterministic.
+func seedsOwnedBy(t *testing.T, primary string, count, nodes, vnodes int) []int64 {
+	t.Helper()
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+	}
+	r := newRing(names, vnodes)
+	var out []int64
+	for s := int64(1); len(out) < count && s < 100000; s++ {
+		key, err := server.KeyForRequest(server.JobRequest{Technique: "sraf", Seed: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.owner(key) == primary {
+			out = append(out, s)
+		}
+	}
+	if len(out) < count {
+		t.Fatalf("found only %d/%d seeds owned by %s", len(out), count, primary)
+	}
+	return out
+}
+
+// TestAffinityPinsDuplicateWorkToOneNode: repeats of one request all
+// land on the same backend and are answered from its cache — the
+// global-cache-without-a-shared-store property.
+func TestAffinityPinsDuplicateWorkToOneNode(t *testing.T) {
+	nodes := []*node{startNode(t), startNode(t), startNode(t)}
+	r, err := New(Config{Backends: urls(nodes), Policy: "affinity", Vnodes: 64,
+		CheckInterval: time.Hour, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown(context.Background())
+
+	req := server.JobRequest{Technique: "sraf", Seed: 7}
+	ctx := context.Background()
+	var first *Backend
+	for i := 0; i < 8; i++ {
+		st, b, err := r.Eval(ctx, req)
+		if err != nil || st.State != server.StateDone {
+			t.Fatalf("eval %d: %v %+v", i, err, st)
+		}
+		if first == nil {
+			first = b
+		} else if b != first {
+			t.Fatalf("eval %d routed to %s, want sticky %s", i, b.Name, first.Name)
+		}
+		if i > 0 && !st.Cached {
+			t.Fatalf("eval %d not served from the sticky node's cache: %+v", i, st)
+		}
+	}
+	for _, b := range r.Backends() {
+		if b != first && b.status().Picks != 0 {
+			t.Fatalf("backend %s saw %d picks for a single-key stream", b.Name, b.status().Picks)
+		}
+	}
+}
+
+// TestInflightFailoverDeterministic is the deterministic mid-flight
+// failure: every request's primary is black-holed at the transport
+// (faultinject.Hang on /v1/jobs only, so health probes stay clean),
+// the attempt times out, and the job must complete on a replica.
+func TestInflightFailoverDeterministic(t *testing.T) {
+	nodes := []*node{startNode(t), startNode(t), startNode(t)}
+	const vnodes = 64
+	seeds := seedsOwnedBy(t, "n0", 4, 3, vnodes)
+
+	tr := faultinject.NewTransport(nil)
+	tr.PlanHost(nodes[0].host(), faultinject.TransportFault{
+		Kind: faultinject.Hang, Path: "/v1/jobs", Times: len(seeds),
+	})
+	// AttemptTimeout must beat the caller's patience but clear a real
+	// evaluation, which runs ~150ms under -race.
+	r, err := New(Config{Backends: urls(nodes), Policy: "affinity", Vnodes: vnodes,
+		CheckInterval: time.Hour, AttemptTimeout: time.Second,
+		RetryBase: time.Millisecond, MaxAttempts: 3, Seed: 42,
+		Transport: tr, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown(context.Background())
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(seeds))
+	for i, s := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			st, b, err := r.Eval(ctx, server.JobRequest{Technique: "sraf", Seed: seed})
+			if err == nil && st.State != server.StateDone {
+				err = fmt.Errorf("settled as %+v", st)
+			}
+			if err == nil && b.Name == "n0" {
+				err = fmt.Errorf("job completed on the black-holed primary")
+			}
+			errs[i] = err
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d did not complete on a replica: %v", i, err)
+		}
+	}
+	st := r.Stats()
+	if st.OK != int64(len(seeds)) || st.Failed != 0 {
+		t.Fatalf("router ok/failed = %d/%d, want %d/0", st.OK, st.Failed, len(seeds))
+	}
+	if st.Failovers != int64(len(seeds)) {
+		t.Fatalf("failovers = %d, want %d (one per black-holed primary attempt)", st.Failovers, len(seeds))
+	}
+	if fired := tr.Fired(nodes[0].host()); fired != len(seeds) {
+		t.Fatalf("faults fired = %d, want %d", fired, len(seeds))
+	}
+}
+
+// TestInflightFailoverOnRealKill kills a live backend (listener and
+// connections dropped) while requests whose affinity primary it is
+// are in flight; every one must complete on a replica with zero
+// failures.
+func TestInflightFailoverOnRealKill(t *testing.T) {
+	nodes := []*node{startNode(t), startNode(t), startNode(t)}
+	const vnodes = 64
+	seeds := seedsOwnedBy(t, "n0", 6, 3, vnodes)
+
+	r, err := New(Config{Backends: urls(nodes), Policy: "affinity", Vnodes: vnodes,
+		CheckInterval: 20 * time.Millisecond, FailAfter: 2, RiseAfter: 2,
+		RetryBase: time.Millisecond, MaxAttempts: 4, Seed: 11, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown(context.Background())
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(seeds))
+	for i, s := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			st, _, err := r.Eval(ctx, server.JobRequest{Technique: "sraf", Seed: seed})
+			if err == nil && st.State != server.StateDone {
+				err = fmt.Errorf("settled as %+v", st)
+			}
+			errs[i] = err
+		}(i, s)
+	}
+	// Kill the primary while the first attempts are on the wire
+	// (evaluations take ~150ms under -race; the kill lands well
+	// inside them).
+	time.Sleep(2 * time.Millisecond)
+	nodes[0].kill()
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("in-flight request %d lost to the kill: %v", i, err)
+		}
+	}
+	st := r.Stats()
+	if st.Failed != 0 || st.OK != int64(len(seeds)) {
+		t.Fatalf("ok/failed = %d/%d, want %d/0", st.OK, st.Failed, len(seeds))
+	}
+	waitFor(t, "dead backend eviction", func() bool { return !r.Backends()[0].Up() })
+}
+
+// TestHealthEvictionAndReinstatement drives a backend through
+// fail → threshold eviction → recovery → probe-based reinstatement,
+// against a stub whose health flips on demand.
+func TestHealthEvictionAndReinstatement(t *testing.T) {
+	var sick atomic.Bool
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sick.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.HealthStatus{Status: "ok"}) //nolint:errcheck // test stub
+	}))
+	defer stub.Close()
+
+	r, err := New(Config{Backends: []string{stub.URL},
+		CheckInterval: 10 * time.Millisecond, CheckTimeout: 100 * time.Millisecond,
+		FailAfter: 3, RiseAfter: 2, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown(context.Background())
+	b := r.Backends()[0]
+
+	waitFor(t, "initial healthy state", func() bool { return b.Up() })
+	sick.Store(true)
+	waitFor(t, "threshold eviction", func() bool { return !b.Up() })
+	if ev := b.status().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	sick.Store(false)
+	waitFor(t, "probe-based reinstatement", func() bool { return b.Up() })
+	if ri := b.status().Reinstates; ri != 1 {
+		t.Fatalf("reinstates = %d, want 1", ri)
+	}
+}
+
+// TestDrainingBackendEvictedImmediately: a node that reports draining
+// is pulled from rotation on the very next probe — no failure
+// threshold, because drain is a deliberate signal.
+func TestDrainingBackendEvictedImmediately(t *testing.T) {
+	n := startNode(t)
+	r, err := New(Config{Backends: []string{n.url},
+		CheckInterval: 10 * time.Millisecond, FailAfter: 50, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown(context.Background())
+	b := r.Backends()[0]
+	waitFor(t, "healthy", func() bool { return b.Up() })
+
+	if err := n.srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// FailAfter is 50: only the immediate drain eviction can fire
+	// this fast.
+	waitFor(t, "drain eviction", func() bool { return !b.Up() })
+}
+
+// TestRetryBudgetBoundsAmplification: with every backend dead, the
+// router stops retrying once the budget empties — each request costs
+// one attempt, not MaxAttempts.
+func TestRetryBudgetBoundsAmplification(t *testing.T) {
+	// Two listeners opened and immediately closed: guaranteed
+	// connection-refused targets.
+	deadURL := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := "http://" + ln.Addr().String()
+		ln.Close()
+		return u
+	}
+	r, err := New(Config{Backends: []string{deadURL(), deadURL()},
+		CheckInterval: time.Hour, FailAfter: 1 << 30, // probes never evict: the data path is under test
+		BreakerThreshold: 1 << 30, MaxAttempts: 3,
+		RetryBase: time.Millisecond, RetryBudget: 8, Seed: 5, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown(context.Background())
+
+	const reqs = 20
+	ctx := context.Background()
+	for i := 0; i < reqs; i++ {
+		if _, _, err := r.Eval(ctx, server.JobRequest{Technique: "sraf", Seed: int64(i)}); err == nil {
+			t.Fatalf("request %d succeeded against dead backends", i)
+		}
+	}
+	st := r.Stats()
+	if st.Failed != reqs {
+		t.Fatalf("failed = %d, want %d", st.Failed, reqs)
+	}
+	var picks int64
+	for _, b := range st.Backends {
+		picks += b.Picks
+	}
+	// Budget 8 (deny below 4 tokens): request 1 burns 3 attempts
+	// (8→5), request 2 burns 2 (5→3.x), every later request gets
+	// exactly 1. Far below the unbudgeted 3×20.
+	if picks >= reqs*2 {
+		t.Fatalf("total attempts = %d for %d requests: retry budget did not bound amplification", picks, reqs)
+	}
+	if st.BudgetDenied == 0 {
+		t.Fatal("budget never denied a retry against a fully dead cluster")
+	}
+}
+
+// TestRouterHTTPRewriteAndProxy covers the wire: job IDs gain the
+// backend prefix on submit and resolve through the proxy on poll.
+func TestRouterHTTPRewriteAndProxy(t *testing.T) {
+	nodes := []*node{startNode(t), startNode(t)}
+	r, err := New(Config{Backends: urls(nodes), Policy: "round-robin",
+		CheckInterval: time.Hour, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown(context.Background())
+	front := httptest.NewServer(r.Handler())
+	defer front.Close()
+
+	body, _ := json.Marshal(server.JobRequest{Technique: "sraf", Seed: 3})
+	resp, err := http.Post(front.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.HasPrefix(st.ID, "n0.") && !strings.HasPrefix(st.ID, "n1.") {
+		t.Fatalf("submit returned unprefixed job id %q", st.ID)
+	}
+
+	waitFor(t, "proxied job to settle", func() bool {
+		resp, err := http.Get(front.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var ps server.JobStatus
+		if json.NewDecoder(resp.Body).Decode(&ps) != nil {
+			return false
+		}
+		return ps.State == server.StateDone && ps.ID == st.ID
+	})
+
+	if resp, _ := http.Get(front.URL + "/v1/jobs/bogus-no-prefix"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unprefixed id status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := http.Get(front.URL + "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+	mresp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mb struct {
+		Router Stats `json:"router"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if mb.Router.Requests < 1 || len(mb.Router.Backends) != 2 {
+		t.Fatalf("metrics body unexpected: %+v", mb.Router)
+	}
+}
+
+// TestRouterDrainMirrorsDfmd: draining answers 503 to new
+// submissions while requests already being routed complete.
+func TestRouterDrainMirrorsDfmd(t *testing.T) {
+	n := startNode(t)
+	r, err := New(Config{Backends: []string{n.url}, CheckInterval: time.Hour, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(r.Handler())
+	defer front.Close()
+
+	// A request in flight through the router before the drain begins.
+	startc := make(chan struct{})
+	done := make(chan *http.Response, 1)
+	go func() {
+		body, _ := json.Marshal(server.JobRequest{Technique: "sraf", Seed: 9})
+		close(startc)
+		resp, err := http.Post(front.URL+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+		if err == nil {
+			done <- resp
+		} else {
+			done <- nil
+		}
+	}()
+	<-startc
+	waitFor(t, "request in flight", func() bool { return r.Stats().Requests >= 1 })
+
+	if err := r.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if !r.Draining() {
+		t.Fatal("router not draining after Shutdown")
+	}
+
+	resp := <-done
+	if resp == nil {
+		t.Fatal("in-flight request was dropped by the drain")
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request finished %d, want 200", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(server.JobRequest{Technique: "sraf", Seed: 10})
+	post, err := http.Post(front.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on draining router = %d, want 503", post.StatusCode)
+	}
+}
+
+// TestRouterShutdownLeaksNoGoroutines: health probers and routing
+// paths all exit; repeated create/use/shutdown cycles return the
+// process to its baseline goroutine count. Runs under the tier-1
+// -race gate.
+func TestRouterShutdownLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for cycle := 0; cycle < 3; cycle++ {
+		nodes := []*node{startNode(t), startNode(t)}
+		r, err := New(Config{Backends: urls(nodes), Policy: "affinity",
+			CheckInterval: 5 * time.Millisecond, Logf: quiet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for i := 0; i < 4; i++ {
+			if _, _, err := r.Eval(ctx, server.JobRequest{Technique: "sraf", Seed: int64(i % 2)}); err != nil {
+				t.Fatalf("cycle %d eval %d: %v", cycle, i, err)
+			}
+		}
+		if err := r.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Shutdown(ctx); err != nil { // idempotent
+			t.Fatal(err)
+		}
+		for _, n := range nodes {
+			n.kill()
+		}
+	}
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	waitFor(t, "goroutines to return to baseline", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= base+3
+	})
+}
+
+// TestPolicyOrders sanity-checks the two non-affinity policies.
+func TestPolicyOrders(t *testing.T) {
+	backends := []*Backend{
+		{Name: "n0"}, {Name: "n1"}, {Name: "n2"},
+	}
+	rr, _ := NewPolicy("round-robin", nil, 0)
+	firsts := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		ord := rr.Order("k", backends)
+		if len(ord) != 3 {
+			t.Fatalf("rr order len %d", len(ord))
+		}
+		firsts[ord[0].Name] = true
+	}
+	if len(firsts) != 3 {
+		t.Fatalf("round-robin did not rotate: %v", firsts)
+	}
+
+	ll, _ := NewPolicy("least-loaded", nil, 0)
+	backends[0].estWaitNs.Store(300)
+	backends[1].estWaitNs.Store(100)
+	backends[2].estWaitNs.Store(200)
+	ord := ll.Order("k", backends)
+	if ord[0].Name != "n1" || ord[1].Name != "n2" || ord[2].Name != "n0" {
+		t.Fatalf("least-loaded order = %s,%s,%s", ord[0].Name, ord[1].Name, ord[2].Name)
+	}
+
+	if _, err := NewPolicy("bogus", nil, 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

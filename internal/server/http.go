@@ -17,7 +17,8 @@ import (
 //	GET  /v1/jobs/{id}       poll a job's status
 //	GET  /v1/jobs/{id}/result  the settled outcome (202 while pending)
 //	GET  /v1/techniques      the technique registry
-//	GET  /healthz            200 serving / 503 draining
+//	GET  /healthz            200 serving / 503 draining; ?deep=1 adds
+//	                         queue saturation + drain state (HealthStatus)
 //	GET  /metrics            server stats + obs registry snapshot
 //
 // Every body is JSON. Overload sheds with 429 plus a Retry-After
@@ -120,6 +121,15 @@ func (s *Server) handleTechniques(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("deep") != "" {
+		h := s.Health()
+		code := http.StatusOK
+		if h.Draining {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+		return
+	}
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return

@@ -30,6 +30,23 @@ type keyPayload struct {
 	MaxFan    int       `json:"maxFan"`
 }
 
+// KeyForRequest computes the content address a server would assign
+// this request, without submitting it. The router's affinity policy
+// uses it to steer duplicate work to the backend that already holds
+// the cached result; because it is the same canonical payload the
+// server hashes, router-side and server-side keys can never disagree.
+func KeyForRequest(req JobRequest) (string, error) {
+	t, err := resolveTech(req.Tech)
+	if err != nil {
+		return "", err
+	}
+	base, err := resolveBlock(req.Block)
+	if err != nil {
+		return "", err
+	}
+	return requestKey(req.Technique, t, req.Seed, base), nil
+}
+
 // requestKey returns the content address of a request:
 // "sha256:<hex>" over the canonical payload. Two requests with the
 // same key are the same work — the dedup and cache layers key on it.

@@ -480,6 +480,27 @@ func (s *Server) Stats() Stats {
 	}
 }
 
+// Health snapshots the deep-health signals: drain state plus live
+// queue occupancy and the admission wait estimate.
+func (s *Server) Health() HealthStatus {
+	h := HealthStatus{
+		Status:     "ok",
+		Draining:   s.draining.Load(),
+		QueueDepth: s.pool.QueueDepth(),
+		QueueCap:   s.pool.QueueCap(),
+		InFlight:   s.pool.InFlight(),
+		Workers:    s.pool.Workers(),
+		EstWaitMS:  float64(s.estimatedWait()) / 1e6,
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	if denom := h.QueueCap + h.Workers; denom > 0 {
+		h.Saturation = float64(h.QueueDepth+h.InFlight) / float64(denom)
+	}
+	return h
+}
+
 // Draining reports whether shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 

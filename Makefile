@@ -31,8 +31,13 @@ SERVEBENCH_FLAGS ?= -rate 150 -duration 8s -dup 0.5 -unique 24 -techniques sraf,
 # whose cache already holds them).
 CLUSTERBENCH_OUT ?= BENCH_PR6.json
 CLUSTERBENCH_FLAGS ?= -cluster 3 -rate 150 -duration 8s -dup 0.5 -unique 24 -techniques sraf,redundant-via -seed 1 -kill 2s -restart 4s -retries 3
+# Full-chip streaming benchmark (PR7's record): the halo-tiled engine
+# vs the flatten-everything baseline on the same floorplan, plus the
+# warm-cache replay path. Every recording target ends with
+# `benchjson -check` so an empty or mangled record fails the run.
+CHIPBENCH_OUT ?= BENCH_PR7.json
 
-.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check servebench clusterbench
+.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check servebench clusterbench chipbench
 
 tier1: ## build + vet + gofmt gate + full tests under the race detector
 	$(GO) build ./...
@@ -63,6 +68,11 @@ race-fast: ## race pass skipping the slow full-scorecard experiments
 
 bench: ## run the tier-1 benchmark set and record $(BENCH_OUT)
 	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -check $(BENCH_OUT)
+
+chipbench: ## full-chip streaming benches (tiled / warm / flat) -> $(CHIPBENCH_OUT)
+	$(GO) test -run='^$$' -bench='^BenchmarkChip' -benchmem . | $(GO) run ./cmd/benchjson -o $(CHIPBENCH_OUT)
+	$(GO) run ./cmd/benchjson -check $(CHIPBENCH_OUT)
 
 benchcmp: ## per-benchmark deltas: $(BENCH_BASE) vs $(BENCH_OUT)
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) $(BENCH_OUT)

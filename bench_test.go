@@ -31,6 +31,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/sta"
 	"repro/internal/tech"
+	"repro/internal/tiling"
 	yieldpkg "repro/internal/yield"
 )
 
@@ -341,6 +342,82 @@ func BenchmarkF5DPT(b *testing.B) {
 				fmt.Println(s)
 			}
 		})
+	}
+}
+
+// ---- Full-chip streaming benches (PR7): the tiled engine vs the
+// flatten-everything baseline on the same small SoC floorplan. The
+// three numbers to compare are ChipTiled (cold cache, intra-run
+// reuse only), ChipTiledWarm (every tile replayed from cache), and
+// ChipFlat (the baseline the tiled results are proven equal to). ----
+
+// chipBench builds the shared 3x3-slot workload.
+func chipBench(b *testing.B) (*layout.Cell, tiling.Opts) {
+	b.Helper()
+	l, _, err := layout.GenerateChip(tech.N45(), layout.ChipOpts{Seed: 7, Slots: 3, Defects: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l.Top, tiling.Opts{
+		Tile: 24000, Halo: 2000,
+		DRC: true, Density: true, DensityWindow: 3000,
+		MaxViolations: 100_000,
+	}
+}
+
+// BenchmarkChipTiled — halo-tiled streaming evaluation, fresh cache
+// each iteration: what a first full-chip run costs, including the
+// intra-run reuse between identical tiles.
+func BenchmarkChipTiled(b *testing.B) {
+	top, o := chipBench(b)
+	ex := tiling.NewExtractor(top)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Cache = tiling.NewCache(0)
+		res, err := tiling.Evaluate(context.Background(), tech.N45(), ex, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report("chip-tiled", func() {
+			fmt.Printf("chip tiled: %d tiles, %d hits/%d misses, %d violations\n",
+				res.Stats.Tiles, res.Stats.TileHits, res.Stats.TileMisses, len(res.Violations))
+		})
+	}
+}
+
+// BenchmarkChipTiledWarm — same evaluation against a pre-warmed cache:
+// the incremental-rerun cost when nothing changed.
+func BenchmarkChipTiledWarm(b *testing.B) {
+	top, o := chipBench(b)
+	ex := tiling.NewExtractor(top)
+	o.Cache = tiling.NewCache(0)
+	if _, err := tiling.Evaluate(context.Background(), tech.N45(), ex, o); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tiling.Evaluate(context.Background(), tech.N45(), ex, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.TileMisses != 0 {
+			b.Fatalf("warm run missed %d tiles", res.Stats.TileMisses)
+		}
+	}
+}
+
+// BenchmarkChipFlat — the flatten-everything baseline on the same
+// chip and deck set.
+func BenchmarkChipFlat(b *testing.B) {
+	top, o := chipBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tiling.EvaluateFlat(context.Background(), tech.N45(), top, o); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

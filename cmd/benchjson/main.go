@@ -10,10 +10,16 @@
 //	go test -run='^$' -bench=. -benchmem . | benchjson -o BENCH_PR2.json
 //
 // With -compare OLD.json the tool instead reads two JSON records and
-// prints a per-benchmark delta table (ns/op and allocs/op ratios), for
-// `make benchcmp`:
+// prints a per-benchmark delta table (ns/op and allocs/op ratios)
+// followed by a geomean speedup summary line, for `make benchcmp`:
 //
 //	benchjson -compare BENCH_PR3.json BENCH_PR4.json
+//
+// With -check FILE the tool validates that FILE is a parseable record
+// with at least one benchmark — the CI guard that a `make bench`
+// pipeline actually captured something:
+//
+//	benchjson -check BENCH_PR7.json
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"strconv"
@@ -54,8 +61,16 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default: append to stdout)")
 	compare := flag.String("compare", "", "old JSON record: compare against the new record named as the positional argument")
+	check := flag.String("check", "", "validate that this JSON record parses and holds at least one benchmark")
 	flag.Parse()
 
+	if *check != "" {
+		if err := runCheck(os.Stdout, *check); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *compare != "" {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare OLD.json needs exactly one NEW.json argument")
@@ -73,28 +88,51 @@ func main() {
 	}
 }
 
-// runCompare loads two JSON records and prints per-benchmark ns/op
-// and allocs/op deltas for every benchmark present in both, in the
-// new record's order. Speedups print as the old/new ratio (so bigger
-// is better); benchmarks only present on one side are listed at the
-// end so renames don't vanish silently.
-func runCompare(w io.Writer, oldPath, newPath string) error {
-	load := func(path string) (*Report, error) {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, err
-		}
-		var rep Report
-		if err := json.Unmarshal(data, &rep); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return &rep, nil
+// loadReport reads and parses one JSON benchmark record.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	oldRep, err := load(oldPath)
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runCheck validates a record: it must parse and contain at least one
+// benchmark with a positive ns/op. CI runs this after every recording
+// pipeline so a silently-empty record fails the build instead of
+// poisoning the next comparison.
+func runCheck(w io.Writer, path string) error {
+	rep, err := loadReport(path)
 	if err != nil {
 		return err
 	}
-	newRep, err := load(newPath)
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("%s: record holds no benchmarks", path)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Name == "" || b.NsPerOp <= 0 {
+			return fmt.Errorf("%s: malformed benchmark entry %+v", path, b)
+		}
+	}
+	fmt.Fprintf(w, "benchjson: %s ok (%d benchmarks)\n", path, len(rep.Benchmarks))
+	return nil
+}
+
+// runCompare loads two JSON records and prints per-benchmark ns/op
+// and allocs/op deltas for every benchmark present in both, in the
+// new record's order, then a geomean speedup summary. Speedups print
+// as the old/new ratio (so bigger is better); benchmarks only present
+// on one side are listed at the end so renames don't vanish silently.
+func runCompare(w io.Writer, oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
 	if err != nil {
 		return err
 	}
@@ -104,6 +142,8 @@ func runCompare(w io.Writer, oldPath, newPath string) error {
 	}
 	newNames := make(map[string]bool, len(newRep.Benchmarks))
 
+	var logSum float64
+	var logN int
 	fmt.Fprintf(w, "%-40s %14s %14s %8s %12s %12s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs", "ratio")
 	for _, n := range newRep.Benchmarks {
@@ -115,6 +155,10 @@ func runCompare(w io.Writer, oldPath, newPath string) error {
 		speed := "n/a"
 		if n.NsPerOp > 0 {
 			speed = fmt.Sprintf("%.2fx", o.NsPerOp/n.NsPerOp)
+			if o.NsPerOp > 0 {
+				logSum += math.Log(o.NsPerOp / n.NsPerOp)
+				logN++
+			}
 		}
 		ar := "n/a"
 		if o.AllocsPerOp >= 0 && n.AllocsPerOp > 0 {
@@ -132,6 +176,14 @@ func runCompare(w io.Writer, oldPath, newPath string) error {
 		if !newNames[o.Name] {
 			fmt.Fprintf(w, "%-40s %14.0f %14s  (removed)\n", o.Name, o.NsPerOp, "-")
 		}
+	}
+	// The headline: geometric mean of the old/new ns/op ratios over the
+	// common set. >1.00x means the new record is faster overall.
+	if logN > 0 {
+		fmt.Fprintf(w, "geomean speedup: %.2fx over %d common benchmarks\n",
+			math.Exp(logSum/float64(logN)), logN)
+	} else {
+		fmt.Fprintln(w, "geomean speedup: n/a (no common benchmarks)")
 	}
 	return nil
 }

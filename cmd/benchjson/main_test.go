@@ -115,4 +115,87 @@ func TestRunCompare(t *testing.T) {
 			t.Fatalf("compare output missing %q:\n%s", want, got)
 		}
 	}
+	// One common benchmark at 3x: the geomean IS that ratio.
+	if !strings.Contains(got, "geomean speedup: 3.00x over 1 common benchmarks") {
+		t.Fatalf("missing geomean summary line:\n%s", got)
+	}
+}
+
+// Geomean over several common benchmarks: 4x and 1x multiply to a
+// geometric mean of 2x, regardless of record order.
+func TestRunCompareGeomean(t *testing.T) {
+	dir := t.TempDir()
+	writeRec := func(name string, rep Report) string {
+		path := filepath.Join(dir, name)
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := writeRec("old.json", Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 4000},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+	}})
+	newPath := writeRec("new.json", Report{Benchmarks: []Result{
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkA", NsPerOp: 1000},
+	}})
+	var out strings.Builder
+	if err := runCompare(&out, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "geomean speedup: 2.00x over 2 common benchmarks") {
+		t.Fatalf("wrong geomean:\n%s", out.String())
+	}
+
+	// Disjoint records: no common set, summary degrades to n/a.
+	lonePath := writeRec("lone.json", Report{Benchmarks: []Result{
+		{Name: "BenchmarkC", NsPerOp: 5},
+	}})
+	out.Reset()
+	if err := runCompare(&out, oldPath, lonePath); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "geomean speedup: n/a") {
+		t.Fatalf("disjoint records must report n/a:\n%s", out.String())
+	}
+}
+
+// -check accepts a well-formed record and rejects empty, malformed,
+// and missing ones.
+func TestRunCheck(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := write("good.json", `{"benchmarks":[{"name":"BenchmarkA","iterations":5,"ns_per_op":100}]}`)
+	var out strings.Builder
+	if err := runCheck(&out, good); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok (1 benchmarks)") {
+		t.Fatalf("missing ok summary: %q", out.String())
+	}
+
+	for name, content := range map[string]string{
+		"empty.json":  `{"benchmarks":[]}`,
+		"noname.json": `{"benchmarks":[{"ns_per_op":100}]}`,
+		"zerons.json": `{"benchmarks":[{"name":"BenchmarkA"}]}`,
+		"syntax.json": `{not json`,
+	} {
+		if err := runCheck(&out, write(name, content)); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+	if err := runCheck(&out, filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file: want error")
+	}
 }

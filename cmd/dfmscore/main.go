@@ -18,12 +18,24 @@
 // its JSON snapshot (harness, litho, OPC, and per-technique stage
 // metrics) to FILE, with "-" meaning stdout.
 //
+// Full-chip mode replaces the scorecard with the streaming scale
+// experiment — generate an SoC floorplan and evaluate it through the
+// halo-tiled engine:
+//
+//	dfmscore -chip [-chiprects N | -chipslots N] [-tile NM] [-halo NM]
+//	         [-chipcache N] [-chipflat] [-chiphotspots] [-seed N] [-parallel N] [-json]
+//
+// -chipflat additionally runs the flatten-everything baseline and
+// fails (exit 1) unless the streamed result matches it exactly; only
+// use it on chips small enough to flatten.
+//
 // Exit status is 1 when any technique reports an error, in both
 // table and JSON modes.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,8 +44,10 @@ import (
 	"time"
 
 	"repro/internal/dfm"
+	"repro/internal/layout"
 	"repro/internal/obs"
 	"repro/internal/tech"
+	"repro/internal/tiling"
 )
 
 func main() {
@@ -44,6 +58,16 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-technique wall-clock budget (0 = none)")
 	retries := flag.Int("retries", 1, "extra attempts for retryable workload failures")
 	metrics := flag.String("metrics", "", "write the run's metrics snapshot to this file (\"-\" = stdout)")
+	chip := flag.Bool("chip", false, "full-chip mode: generate an SoC floorplan and run the tiled streaming evaluation")
+	chipRects := flag.Int64("chiprects", 1_000_000, "chip mode: target flattened rect count (ignored when -chipslots > 0)")
+	chipSlots := flag.Int("chipslots", 0, "chip mode: floorplan grid side (overrides -chiprects)")
+	chipDefects := flag.Int("chipdefects", 8, "chip mode: injected spacing defects")
+	tile := flag.Int64("tile", 24000, "chip mode: core tile size, nm")
+	halo := flag.Int64("halo", 2000, "chip mode: DRC context halo, nm")
+	chipCache := flag.Int("chipcache", 8192, "chip mode: result cache entries (0 disables reuse)")
+	chipFlat := flag.Bool("chipflat", false, "chip mode: also run the flat baseline and verify an exact match")
+	chipHot := flag.Bool("chiphotspots", false, "chip mode: include the metal1 litho hotspot scan")
+	chipDens := flag.Bool("chipdensity", true, "chip mode: include the density-window deck (its violation list dominates memory on sparse floorplans)")
 	flag.Parse()
 
 	if *metrics != "" {
@@ -56,6 +80,23 @@ func main() {
 	defer stop()
 
 	t := tech.N45()
+	if *chip {
+		if err := runChip(ctx, t, chipConfig{
+			seed: *seed, rects: *chipRects, slots: *chipSlots, defects: *chipDefects,
+			tile: *tile, halo: *halo, cache: *chipCache, flat: *chipFlat,
+			hotspots: *chipHot, density: *chipDens, workers: *parallel, asJSON: *asJSON,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "dfmscore:", err)
+			os.Exit(1)
+		}
+		if *metrics != "" {
+			if err := obs.DumpDefault(*metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "dfmscore:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 	if !*asJSON {
 		fmt.Printf("DFM scorecard on %s (half-pitch %dnm, k1=%.2f), seed %d\n\n",
 			t.Name, t.HalfPitch(), t.K1(), *seed)
@@ -98,4 +139,88 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// chipConfig carries the -chip flag set.
+type chipConfig struct {
+	seed    int64
+	rects   int64
+	slots   int
+	defects int
+	tile    int64
+	halo    int64
+	cache   int
+	flat    bool
+
+	hotspots bool
+	density  bool
+	workers  int
+	asJSON   bool
+}
+
+// runChip executes the full-chip streaming experiment and prints its
+// report. A -chipflat mismatch is an error: the tiled engine's whole
+// claim is exact equivalence to the flat evaluation.
+func runChip(ctx context.Context, t *tech.Tech, cfg chipConfig) error {
+	topts := tiling.Opts{
+		Tile: cfg.tile, Halo: cfg.halo, Workers: cfg.workers,
+		DRC: true, Density: cfg.density, DensityWindow: 3000,
+		MaxViolations: 100_000,
+	}
+	if cfg.hotspots {
+		topts.Hotspots = []tech.Layer{tech.Metal1}
+	}
+	if cfg.cache > 0 {
+		topts.Cache = tiling.NewCache(cfg.cache)
+	}
+	o := dfm.ChipEvalOpts{
+		Chip: layout.ChipOpts{
+			Seed: cfg.seed, Slots: cfg.slots, TargetRects: cfg.rects,
+			Defects: cfg.defects,
+		},
+		Tiling:      topts,
+		CompareFlat: cfg.flat,
+	}
+	rep, res, err := dfm.EvalChipTiling(ctx, t, o)
+	if err != nil {
+		return err
+	}
+
+	if cfg.asJSON {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	} else {
+		st := rep.Stats
+		fmt.Printf("full-chip streaming evaluation on %s, seed %d\n", t.Name, cfg.seed)
+		fmt.Printf("  chip:      %dx%d slots, die %.1fx%.1f mm, %d rects (generated in %v)\n",
+			rep.Info.Slots, rep.Info.Slots,
+			float64(rep.Info.Die.Width())/1e6, float64(rep.Info.Die.Height())/1e6,
+			rep.Info.Rects, rep.GenElapsed.Round(time.Millisecond))
+		fmt.Printf("  tiles:     %d (%d empty), tile %dnm halo %dnm, %.1f tiles/s, %v total\n",
+			st.Tiles, st.EmptyTiles, cfg.tile, cfg.halo, rep.TilesPerSec,
+			rep.Elapsed.Round(time.Millisecond))
+		if st.TileHits+st.TileMisses > 0 {
+			fmt.Printf("  reuse:     %d/%d tile hits (%.0f%%), %d window hits\n",
+				st.TileHits, st.TileHits+st.TileMisses,
+				100*float64(st.TileHits)/float64(st.TileHits+st.TileMisses),
+				st.WindowHits)
+		}
+		fmt.Printf("  results:   %d violations (%d dropped), %d hotspots\n",
+			rep.Violations, res.Dropped, rep.Hotspots)
+		fmt.Printf("  peak heap: %.1f MB tiled", float64(rep.PeakHeapTiled)/(1<<20))
+		if cfg.flat {
+			fmt.Printf(", %.1f MB flat (%.1fx); flat run %v",
+				float64(rep.PeakHeapFlat)/(1<<20),
+				float64(rep.PeakHeapFlat)/float64(rep.PeakHeapTiled),
+				rep.FlatElapsed.Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	if cfg.flat && !rep.Match {
+		return fmt.Errorf("tiled result does NOT match flat baseline")
+	}
+	return nil
 }

@@ -38,15 +38,23 @@ func (r DensityWindow) Check(ctx *Context) []Violation {
 	for _, w := range WindowGrid(extent, r.Window, r.Window/2) {
 		d := DensityIn(rs, w)
 		if d < r.Min || d > r.Max {
-			out = append(out, Violation{
-				Rule:   r.Name(),
-				Layer:  r.Layer,
-				Marker: w,
-				Detail: fmt.Sprintf("density %.3f outside [%.2f, %.2f]", d, r.Min, r.Max),
-			})
+			out = append(out, r.Violation(w, d))
 		}
 	}
 	return out
+}
+
+// Violation builds the violation this rule reports for window w at
+// measured density d. Exported so the tiled evaluator
+// (internal/tiling), which computes window densities from per-tile
+// extractions, emits byte-identical violations to a flat run.
+func (r DensityWindow) Violation(w geom.Rect, d float64) Violation {
+	return Violation{
+		Rule:   r.Name(),
+		Layer:  r.Layer,
+		Marker: w,
+		Detail: fmt.Sprintf("density %.3f outside [%.2f, %.2f]", d, r.Min, r.Max),
+	}
 }
 
 // WindowGrid tiles the extent with window-sized boxes stepped by step

@@ -11,6 +11,7 @@ import (
 var (
 	cForEachItems  = obs.C("harness.foreach.items")
 	cForEachInline = obs.C("harness.foreach.inline")
+	cForEachErrors = obs.C("harness.foreach.errors")
 )
 
 // ForEach runs fn(i) for every i in [0, n) across a bounded pool of
@@ -58,5 +59,69 @@ func ForEach(ctx context.Context, parallel, n int, fn func(i int)) error {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
+}
+
+// ForEachErr is ForEach for item functions that can fail. The first
+// error stops dispatch of further indices (in-flight items finish),
+// and among the items that did report errors the one with the lowest
+// index wins, so concurrent runs return a deterministic error for a
+// deterministic workload. Returns the context error if no item failed
+// but the context was canceled.
+func ForEachErr(ctx context.Context, parallel, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	cForEachItems.Add(int64(n))
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 || n <= 1 {
+		cForEachInline.Add(int64(n))
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				cForEachErrors.Inc()
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		failed atomic.Bool
+
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		cForEachErrors.Inc()
+		return firstErr
+	}
 	return ctx.Err()
 }

@@ -95,7 +95,12 @@ func (c *Cell) Pin(name string) (Pin, bool) {
 	return Pin{}, false
 }
 
-// BBox returns the bounding box of the cell including instances.
+// BBox returns the bounding box of the cell including placed
+// instances (the full hierarchical extent, recursively). The result
+// is cached on the cell; because the cache is written on first use,
+// BBox is NOT safe for concurrent first calls — warm it from a single
+// goroutine (or use tiling.NewExtractor, which precomputes immutable
+// per-cell bounds) before fanning out.
 func (c *Cell) BBox() geom.Rect {
 	if c.bboxValid {
 		return c.bbox
@@ -112,7 +117,11 @@ func (c *Cell) BBox() geom.Rect {
 }
 
 // LayerRects returns the rectangles of one layer of the cell's own
-// shapes (not instances), unnormalized.
+// shapes, unnormalized. Contract: this is FLAT-ONLY — geometry inside
+// placed instances is silently ignored, unlike BBox, which recurses.
+// Callers that need hierarchical geometry must Flatten (whole-chip)
+// or walk the hierarchy lazily (tiling.Extractor); callers that only
+// need the hierarchical per-layer extent should use LayerBBox.
 func (c *Cell) LayerRects(l tech.Layer) []geom.Rect {
 	var rs []geom.Rect
 	for _, s := range c.Shapes {
@@ -121,6 +130,60 @@ func (c *Cell) LayerRects(l tech.Layer) []geom.Rect {
 		}
 	}
 	return rs
+}
+
+// LayerBBox returns the bounding box of one layer including placed
+// instances — the hierarchical sibling of LayerRects that the tiler
+// uses to anchor per-layer scan grids without flattening. Axis-aligned
+// orthogonal transforms map bboxes to bboxes exactly, so the walk
+// composes child layer bboxes instead of visiting every shape path:
+// cost is O(cells + instances), not O(flattened shapes). Not cached on
+// the cell (a fresh memo per call), so it is safe to call concurrently
+// with other read-only cell access.
+func (c *Cell) LayerBBox(l tech.Layer) geom.Rect {
+	memo := make(map[*Cell]geom.Rect)
+	var walk func(c *Cell) geom.Rect
+	walk = func(c *Cell) geom.Rect {
+		if bb, ok := memo[c]; ok {
+			return bb
+		}
+		var bb geom.Rect
+		for _, s := range c.Shapes {
+			if s.Layer == l {
+				bb = bb.Union(s.R)
+			}
+		}
+		for _, in := range c.Insts {
+			cb := walk(in.Cell)
+			if !cb.Empty() {
+				bb = bb.Union(in.T.ApplyRect(cb))
+			}
+		}
+		memo[c] = bb
+		return bb
+	}
+	return walk(c)
+}
+
+// RectCount returns the number of shapes Flatten would emit for the
+// hierarchy under the cell, without materializing them. Memoized per
+// distinct cell, so counting a 10^8-rect chip costs O(cells +
+// instances).
+func (c *Cell) RectCount() int64 {
+	memo := make(map[*Cell]int64)
+	var walk func(c *Cell) int64
+	walk = func(c *Cell) int64 {
+		if n, ok := memo[c]; ok {
+			return n
+		}
+		n := int64(len(c.Shapes))
+		for _, in := range c.Insts {
+			n += walk(in.Cell)
+		}
+		memo[c] = n
+		return n
+	}
+	return walk(c)
 }
 
 // MaxNet returns the highest net id used by the cell's own shapes, or

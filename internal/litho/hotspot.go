@@ -88,6 +88,47 @@ func (im *Image) FindHotspots(minWidth, minSpace int64) []Hotspot {
 	return out
 }
 
+// Scan-window geometry, exported so chip-scale tiled evaluation
+// (internal/tiling) can enumerate byte-identical windows and reproduce
+// ScanLayer results exactly without holding the flat layer.
+const (
+	// ScanTileNM is the scan window edge, nm.
+	ScanTileNM int64 = 12000
+	// ScanPadNM is the margin added around each window before
+	// simulation so hotspots at window seams are detected whole.
+	ScanPadNM int64 = 500
+)
+
+// ScanGrid returns the scan windows ScanLayer simulates for a layer
+// whose geometry has the given bounding box: ScanTileNM steps anchored
+// at the bbox corner, clipped to the bbox. Empty bbox -> no windows.
+func ScanGrid(bb geom.Rect) []geom.Rect {
+	if bb.Empty() {
+		return nil
+	}
+	var out []geom.Rect
+	for y := bb.Y0; y < bb.Y1; y += ScanTileNM {
+		for x := bb.X0; x < bb.X1; x += ScanTileNM {
+			out = append(out, geom.R(x, y, min64(x+ScanTileNM, bb.X1), min64(y+ScanTileNM, bb.Y1)))
+		}
+	}
+	return out
+}
+
+// ScanDefaults returns the minWidth/minSpace thresholds ScanLayer uses
+// when the caller passes zero: 60% of the layer's design rules, the
+// standard "electrical fail" margin.
+func ScanDefaults(t *tech.Tech, layer tech.Layer) (minWidth, minSpace int64) {
+	return t.Rules[layer].MinWidth * 6 / 10, t.Rules[layer].MinSpace * 6 / 10
+}
+
+// ScanKeeps reports whether a hotspot found in a padded simulation of
+// win is attributed to win (rather than to the neighboring window that
+// also sees it in its pad).
+func ScanKeeps(win geom.Rect, h Hotspot) bool {
+	return h.Box.Overlaps(win) || win.ContainsRect(h.Box)
+}
+
 // ScanLayer simulates a full layer in tiles and returns all hotspots.
 // Tiling bounds memory on large blocks; the simulation pad makes tile
 // seams invisible. minWidth/minSpace default to 60% of the layer's
@@ -101,38 +142,33 @@ func ScanLayer(rs []geom.Rect, t *tech.Tech, layer tech.Layer, cond Condition, m
 // (and per blur pass inside each tile's simulation); on cancellation
 // it returns the hotspots found so far alongside the context error.
 func ScanLayerCtx(ctx context.Context, rs []geom.Rect, t *tech.Tech, layer tech.Layer, cond Condition, minWidth, minSpace int64) ([]Hotspot, error) {
-	if minWidth == 0 {
-		minWidth = t.Rules[layer].MinWidth * 6 / 10
+	if minWidth == 0 || minSpace == 0 {
+		dw, ds := ScanDefaults(t, layer)
+		if minWidth == 0 {
+			minWidth = dw
+		}
+		if minSpace == 0 {
+			minSpace = ds
+		}
 	}
-	if minSpace == 0 {
-		minSpace = t.Rules[layer].MinSpace * 6 / 10
-	}
-	bb := geom.BBoxOf(rs)
-	if bb.Empty() {
-		return nil, nil
-	}
-	const tile = 12000 // nm
 	var out []Hotspot
 	seen := make(map[geom.Rect]bool)
-	for y := bb.Y0; y < bb.Y1; y += tile {
-		for x := bb.X0; x < bb.X1; x += tile {
-			win := geom.R(x, y, min64(x+tile, bb.X1), min64(y+tile, bb.Y1))
-			// Give the tile a margin so hotspots at seams are detected
-			// whole; dedupe below handles the overlap.
-			img, err := SimulateCtx(ctx, rs, win.Bloat(500), t.Optics, cond)
-			if err != nil {
-				return out, err
+	for _, win := range ScanGrid(geom.BBoxOf(rs)) {
+		// Give the window a margin so hotspots at seams are detected
+		// whole; dedupe below handles the overlap.
+		img, err := SimulateCtx(ctx, rs, win.Bloat(ScanPadNM), t.Optics, cond)
+		if err != nil {
+			return out, err
+		}
+		for _, h := range img.FindHotspots(minWidth, minSpace) {
+			if !ScanKeeps(win, h) {
+				continue
 			}
-			for _, h := range img.FindHotspots(minWidth, minSpace) {
-				if !h.Box.Overlaps(win) && !win.ContainsRect(h.Box) {
-					continue
-				}
-				if seen[h.Box] {
-					continue
-				}
-				seen[h.Box] = true
-				out = append(out, h)
+			if seen[h.Box] {
+				continue
 			}
+			seen[h.Box] = true
+			out = append(out, h)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

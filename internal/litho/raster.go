@@ -79,6 +79,27 @@ func newRasterMask(mask []geom.Rect, window geom.Rect, opt tech.Optics, maxDefoc
 	return rm
 }
 
+// SimPadNM returns the pixel-registered pad a simulation adds around
+// its window at |defocus| <= maxDefocus: geometry farther than this
+// from the window cannot influence the image. internal/tiling uses it
+// to bound how much chip geometry each scan window must extract for
+// the tiled simulation to be bit-identical to the flat one.
+func SimPadNM(opt tech.Optics, maxDefocus float64) int64 {
+	f := defocusFactor(opt, math.Abs(maxDefocus))
+	maxSigma := 0.0
+	for _, s := range opt.Sigmas {
+		if s*f > maxSigma {
+			maxSigma = s * f
+		}
+	}
+	pitch := opt.GridNM
+	if pitch <= 0 {
+		pitch = 1
+	}
+	padPx := int64(math.Ceil(3 * maxSigma / pitch))
+	return int64(math.Ceil(float64(padPx) * pitch))
+}
+
 // defocusFactor returns the kernel broadening sqrt(1+(f/F)^2) at the
 // given defocus; every sigma scales by it.
 func defocusFactor(opt tech.Optics, defocus float64) float64 {

@@ -1,0 +1,70 @@
+package tiling
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// Cache is a bounded LRU mapping content addresses to origin-relative
+// tile/window results. Payloads are immutable once stored (replay
+// translates into fresh slices), so one cache is safe to share across
+// the tile fan-out and across successive evaluations — which is the
+// point: a second run over a revised floorplan reuses every unchanged
+// slot.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[[sha256.Size]byte]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type centry struct {
+	key [sha256.Size]byte
+	val *payload
+}
+
+// NewCache returns a cache bounded to maxEntries (default 8192 when
+// <= 0). Entries are whole tile or scan-window results; a full chip
+// evaluation touches one entry per non-empty tile plus one per
+// non-empty scan window.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 8192
+	}
+	return &Cache{cap: maxEntries, m: make(map[[sha256.Size]byte]*list.Element), ll: list.New()}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *Cache) get(k [sha256.Size]byte) (*payload, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*centry).val, true
+}
+
+func (c *Cache) put(k [sha256.Size]byte, v *payload) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*centry).val = v
+		return
+	}
+	c.m[k] = c.ll.PushFront(&centry{key: k, val: v})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*centry).key)
+	}
+}

@@ -1,0 +1,162 @@
+package tiling
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"hash"
+	"sort"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/litho"
+	"repro/internal/tech"
+)
+
+// Content addressing for per-cell result reuse, following the dfmd
+// cache (internal/server/key.go): a schema-versioned canonical payload
+// is hashed, and equal keys mean equal work. Here the payload is the
+// tile's extracted geometry RELATIVE to the tile origin plus every
+// run parameter that influences the tile's result — so two tiles over
+// repeated macro instances hash identically wherever the floorplan is
+// grid-aligned, and results replay by translation. Net ids are
+// deliberately excluded: Flatten remaps them per instance, no tiled
+// check reads them, and keying on them would defeat all sharing.
+
+// keySchema versions the key payload; bump on any change to payload
+// shape or to the semantics of any per-tile computation.
+const keySchema = 1
+
+// configKey hashes the run-wide parameters shared by every tile key:
+// the full technology (rules derive the DRC deck and scan thresholds)
+// and the evaluation options that alter per-tile results.
+func configKey(t *tech.Tech, o Opts) [sha256.Size]byte {
+	p := struct {
+		Schema  int             `json:"schema"`
+		Tech    tech.Tech       `json:"tech"`
+		DRC     bool            `json:"drc"`
+		Density bool            `json:"density"`
+		DensW   int64           `json:"densW"`
+		Cond    litho.Condition `json:"cond"`
+		MinW    int64           `json:"minW"`
+		MinS    int64           `json:"minS"`
+	}{keySchema, *t, o.DRC, o.Density, o.DensityWindow, o.HotspotCond, o.MinWidth, o.MinSpace}
+	b, err := json.Marshal(p)
+	if err != nil {
+		panic("tiling: config key marshal: " + err.Error())
+	}
+	return sha256.Sum256(b)
+}
+
+// hashWriter accumulates int64 fields into a sha256 stream.
+type hashWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newHashWriter(cfg [sha256.Size]byte, stage byte) *hashWriter {
+	w := &hashWriter{h: sha256.New()}
+	w.h.Write(cfg[:])
+	w.buf[0] = stage
+	w.h.Write(w.buf[:1])
+	return w
+}
+
+func (w *hashWriter) i64(vs ...int64) {
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(w.buf[:], uint64(v))
+		w.h.Write(w.buf[:])
+	}
+}
+
+func (w *hashWriter) sum() (k [sha256.Size]byte) {
+	w.h.Sum(k[:0])
+	return k
+}
+
+// tileKey is the content address of one DRC/density tile: core
+// dimensions, context pad, the density windows relative to the core,
+// and the extracted shapes relative to the core, order-normalized.
+func tileKey(cfg [sha256.Size]byte, core geom.Rect, pad int64, wins []geom.Rect, shapes []layout.Shape) [sha256.Size]byte {
+	w := newHashWriter(cfg, 'T')
+	w.i64(core.Width(), core.Height(), pad)
+	w.i64(int64(len(wins)))
+	for _, r := range wins {
+		w.i64(r.X0-core.X0, r.Y0-core.Y0, r.Width(), r.Height())
+	}
+	// Order-normalize: extraction order follows hierarchy traversal,
+	// which may differ between tiles holding identical geometry sets.
+	// All consumers (normalization, scans, components) are
+	// order-insensitive up to the final global sort, so sorting here is
+	// sound and maximizes sharing.
+	rel := make([]layout.Shape, len(shapes))
+	for i, s := range shapes {
+		rel[i] = layout.Shape{Layer: s.Layer, R: s.R.Translate(geom.Pt(-core.X0, -core.Y0))}
+	}
+	sort.Slice(rel, func(i, j int) bool {
+		a, b := rel[i], rel[j]
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.R.X0 != b.R.X0 {
+			return a.R.X0 < b.R.X0
+		}
+		if a.R.Y0 != b.R.Y0 {
+			return a.R.Y0 < b.R.Y0
+		}
+		if a.R.X1 != b.R.X1 {
+			return a.R.X1 < b.R.X1
+		}
+		return a.R.Y1 < b.R.Y1
+	})
+	w.i64(int64(len(rel)))
+	for _, s := range rel {
+		w.i64(int64(s.Layer), s.R.X0, s.R.Y0, s.R.X1, s.R.Y1)
+	}
+	return w.sum()
+}
+
+// windowKey is the content address of one litho scan window: layer,
+// window dimensions, extraction pad, and the layer rects relative to
+// the window origin, order-normalized.
+func windowKey(cfg [sha256.Size]byte, layer tech.Layer, win geom.Rect, pad int64, rs []geom.Rect) [sha256.Size]byte {
+	w := newHashWriter(cfg, 'W')
+	w.i64(int64(layer), win.Width(), win.Height(), pad)
+	rel := make([]geom.Rect, len(rs))
+	for i, r := range rs {
+		rel[i] = r.Translate(geom.Pt(-win.X0, -win.Y0))
+	}
+	sort.Slice(rel, func(i, j int) bool {
+		a, b := rel[i], rel[j]
+		if a.X0 != b.X0 {
+			return a.X0 < b.X0
+		}
+		if a.Y0 != b.Y0 {
+			return a.Y0 < b.Y0
+		}
+		if a.X1 != b.X1 {
+			return a.X1 < b.X1
+		}
+		return a.Y1 < b.Y1
+	})
+	w.i64(int64(len(rel)))
+	for _, r := range rel {
+		w.i64(r.X0, r.Y0, r.X1, r.Y1)
+	}
+	return w.sum()
+}
+
+// payload is one cached unit of tile work, stored origin-relative so a
+// hit replays by translation.
+type payload struct {
+	// viol holds the tile's kept DRC violations with markers relative
+	// to the tile core origin (tile payloads only).
+	viol []drc.Violation
+	// dens holds per-density-rule, per-window densities in tile window
+	// order (tile payloads only). Densities are translation-invariant.
+	dens [][]float64
+	// hs holds kept hotspots with boxes relative to the window origin
+	// (window payloads only).
+	hs []litho.Hotspot
+}

@@ -1,0 +1,27 @@
+package tiling
+
+import "repro/internal/obs"
+
+var (
+	// Tile fan-out.
+	cTiles      = obs.C("tiling.tiles")
+	cTilesEmpty = obs.C("tiling.tiles.empty")
+	cShapes     = obs.C("tiling.extract.shapes")
+	hTileNS     = obs.H("tiling.tile.ns")
+
+	// Hotspot scan windows.
+	cWindows      = obs.C("tiling.windows")
+	cWindowsEmpty = obs.C("tiling.windows.empty")
+	hWindowNS     = obs.H("tiling.window.ns")
+
+	// Per-cell result reuse.
+	cTileHit  = obs.C("tiling.cache.tile.hit")
+	cTileMiss = obs.C("tiling.cache.tile.miss")
+	cWinHit   = obs.C("tiling.cache.window.hit")
+	cWinMiss  = obs.C("tiling.cache.window.miss")
+
+	// Seam stitching.
+	cStitchViol  = obs.C("tiling.stitch.violations")
+	cStitchDedup = obs.C("tiling.stitch.deduped")
+	cStitchDrop  = obs.C("tiling.stitch.dropped")
+)

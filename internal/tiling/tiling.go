@@ -1,0 +1,708 @@
+package tiling
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/drc"
+	"repro/internal/fill"
+	"repro/internal/geom"
+	"repro/internal/harness"
+	"repro/internal/layout"
+	"repro/internal/litho"
+	"repro/internal/tech"
+)
+
+// Opts parameterizes a chip evaluation. The zero value of any field
+// gets a sensible default at Evaluate; DefaultOpts spells them out.
+type Opts struct {
+	// Tile is the core tile edge, nm. Memory scales with (Tile +
+	// 2*context pad)^2 worth of geometry; throughput prefers tiles
+	// large enough to amortize per-tile normalization.
+	Tile int64
+	// Halo is the DRC context margin around each core tile, nm. Must
+	// cover the largest rule interaction distance AND the largest
+	// violation marker extent (MinHalo gives the rule floor; Evaluate
+	// clamps up to it). Violations whose markers exceed the halo are
+	// dropped at seams — keep it comfortably above marker scale.
+	Halo int64
+	// Workers bounds the tile/window fan-out (default GOMAXPROCS).
+	Workers int
+
+	// DRC runs the standard rule deck per tile.
+	DRC bool
+	// Density runs the density-window deck; DensityWindow is the
+	// window edge (default 3000, the signoff default).
+	Density       bool
+	DensityWindow int64
+	// KeepDensityMaps retains per-layer window density maps in the
+	// result (O(#windows) memory; disable for 10^8-rect chips if the
+	// violations alone suffice).
+	KeepDensityMaps bool
+
+	// Hotspots lists the layers to run the litho hotspot scan on.
+	Hotspots []tech.Layer
+	// HotspotCond is the exposure condition (default litho.Nominal).
+	HotspotCond litho.Condition
+	// MinWidth/MinSpace are the printed-fail thresholds; 0 means the
+	// per-layer litho.ScanDefaults.
+	MinWidth, MinSpace int64
+
+	// Cache enables evaluate-once-per-unique-content replay of tile
+	// and scan-window results across repeated macro instances (and
+	// across successive evaluations sharing the cache).
+	Cache *Cache
+	// MaxViolations caps the merged violation list (0 = unlimited).
+	// ByRule counts stay complete; Result.Dropped reports the excess.
+	MaxViolations int
+}
+
+// DefaultOpts returns the full signoff configuration: DRC + density +
+// metal1 hotspot scan at nominal conditions, 24000nm tiles with a
+// 2000nm halo.
+func DefaultOpts() Opts {
+	return Opts{
+		Tile: 24000, Halo: 2000,
+		DRC: true, Density: true, DensityWindow: 3000, KeepDensityMaps: true,
+		Hotspots:    []tech.Layer{tech.Metal1},
+		HotspotCond: litho.Nominal,
+	}
+}
+
+func withDefaults(t *tech.Tech, o Opts) Opts {
+	if o.Tile <= 0 {
+		o.Tile = 24000
+	}
+	if o.Halo <= 0 {
+		o.Halo = 2000
+	}
+	if h := MinHalo(t); o.Halo < h {
+		o.Halo = h
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.DensityWindow <= 0 {
+		o.DensityWindow = 3000
+	}
+	if o.HotspotCond == (litho.Condition{}) {
+		o.HotspotCond = litho.Nominal
+	}
+	return o
+}
+
+// MinHalo returns the smallest context margin that covers every rule
+// interaction distance of the technology: facing-edge and corner
+// scans reach MinSpace, enclosure tests reach the enclosure ring,
+// min-area components of legal width span up to MinArea/MinWidth, and
+// the endcap check dilates gates by 100nm each way.
+func MinHalo(t *tech.Tech) int64 {
+	var h int64 = 200 // endcap: 100nm dilation, both sides
+	for l := tech.Layer(0); l < tech.NumLayers; l++ {
+		r := t.Rules[l]
+		h = maxI64(h, r.MinWidth, r.MinSpace, r.ViaSpace,
+			r.ViaSize+2*maxI64(r.ViaEnclosure, r.ViaEncSide))
+		if r.MinArea > 0 && r.MinWidth > 0 {
+			h = maxI64(h, r.MinArea/r.MinWidth)
+		}
+	}
+	return h
+}
+
+// Stats reports how an evaluation ran.
+type Stats struct {
+	Die   geom.Rect
+	Rects int64 // flattened rect count of the chip (never materialized)
+
+	Tiles, EmptyTiles    int
+	TileHits, TileMisses int64 // per-content cache outcomes, non-empty tiles
+
+	Windows, EmptyWindows    int   // litho scan windows
+	WindowHits, WindowMisses int64 // window-level cache outcomes
+
+	ShapesExtracted int64 // total shapes handed to per-tile contexts
+	Elapsed         time.Duration
+}
+
+// Result is a stitched whole-chip evaluation.
+type Result struct {
+	// Violations is the merged, seam-deduped DRC + density violation
+	// list in a deterministic total order, possibly truncated to
+	// MaxViolations (Dropped counts the excess; ByRule never
+	// truncates).
+	Violations []drc.Violation
+	ByRule     map[string]int
+	Dropped    int
+
+	// Hotspots holds per-layer litho scan results, identical to
+	// litho.ScanLayer over the flattened layer.
+	Hotspots map[tech.Layer][]litho.Hotspot
+
+	// Density holds per-layer window density maps (KeepDensityMaps).
+	Density map[tech.Layer]fill.DensityMap
+
+	Stats Stats
+}
+
+// tileOut is one tile's contribution before stitching.
+type tileOut struct {
+	viol []drc.Violation // absolute markers, seam-filtered
+	dens [][]float64     // [densityRule][windowInTile]
+}
+
+// EvaluateChip evaluates the hierarchy under top tile-by-tile. See
+// Evaluate for reusing a prepared Extractor across runs.
+func EvaluateChip(ctx context.Context, t *tech.Tech, top *layout.Cell, o Opts) (*Result, error) {
+	return Evaluate(ctx, t, NewExtractor(top), o)
+}
+
+// Evaluate runs the tiled chip evaluation: tiles fan out across
+// harness.ForEachErr workers, each extracting only the geometry
+// overlapping its halo-padded window and running the per-tile
+// workhorses; seam stitching dedups the halo overlap so the merged
+// result reproduces a flat evaluation exactly (for violations whose
+// markers fit inside the halo — see Opts.Halo).
+func Evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts) (*Result, error) {
+	start := time.Now()
+	o = withDefaults(t, o)
+	res := &Result{
+		ByRule:   make(map[string]int),
+		Hotspots: make(map[tech.Layer][]litho.Hotspot),
+		Density:  make(map[tech.Layer]fill.DensityMap),
+	}
+	die := ex.BBox()
+	res.Stats.Die = die
+	res.Stats.Rects = ex.Rects()
+	if die.Empty() {
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+	cfg := configKey(t, o)
+
+	// Rule decks. ByRule gets a zero entry for every rule of every
+	// enabled deck, mirroring drc.Deck.RunCtx.
+	var std *drc.Deck
+	if o.DRC {
+		std = drc.StandardDeck(t)
+		for _, r := range std.Rules {
+			res.ByRule[r.Name()] = 0
+		}
+	}
+	var densRules []drc.DensityWindow
+	if o.Density {
+		for _, r := range drc.DensityDeck(t, o.DensityWindow).Rules {
+			res.ByRule[r.Name()] = 0
+			dw := r.(drc.DensityWindow)
+			// A layer with no geometry anywhere is skipped, exactly as
+			// the flat rule skips it; a tile-locally empty layer is NOT
+			// (its windows legitimately measure zero).
+			if !ex.LayerBBox(dw.Layer).Empty() {
+				densRules = append(densRules, dw)
+			}
+		}
+	}
+
+	// Global density window grid: windows are anchored at the die
+	// corner like the flat rule's, and each is assigned to the unique
+	// tile containing its lower-left corner, so every window is
+	// measured exactly once, from a tile whose context pad covers it.
+	var wins []geom.Rect
+	if len(densRules) > 0 {
+		wins = drc.WindowGrid(die, o.DensityWindow, o.DensityWindow/2)
+	}
+	nx := int((die.Width() + o.Tile - 1) / o.Tile)
+	ny := int((die.Height() + o.Tile - 1) / o.Tile)
+	nT := nx * ny
+	perTileWins := make([][]int, nT)
+	for wi, w := range wins {
+		ti := int((w.X0-die.X0)/o.Tile) + nx*int((w.Y0-die.Y0)/o.Tile)
+		perTileWins[ti] = append(perTileWins[ti], wi)
+	}
+
+	// Context pad: the halo for rule interactions, stretched so every
+	// assigned density window (which can overhang its tile by up to a
+	// full window) is fully covered.
+	pad := o.Halo
+	if len(densRules) > 0 && o.DensityWindow > pad {
+		pad = o.DensityWindow
+	}
+
+	// Stage A: tiles (DRC + density).
+	outs := make([]tileOut, nT)
+	var nEmpty, nHit, nMiss, nShapes atomic.Int64
+	res.Stats.Tiles = nT
+	err := harness.ForEachErr(stdctx, o.Workers, nT, func(i int) error {
+		sp := hTileNS.Start()
+		defer sp.End()
+		cTiles.Inc()
+		core := geom.R(
+			die.X0+int64(i%nx)*o.Tile, die.Y0+int64(i/nx)*o.Tile,
+			minI64(die.X0+int64(i%nx+1)*o.Tile, die.X1),
+			minI64(die.Y0+int64(i/nx+1)*o.Tile, die.Y1))
+		padded := core.Bloat(pad)
+		shapes := ex.AppendShapes(padded, nil)
+		nShapes.Add(int64(len(shapes)))
+		cShapes.Add(int64(len(shapes)))
+		absWins := make([]geom.Rect, len(perTileWins[i]))
+		for j, wi := range perTileWins[i] {
+			absWins[j] = wins[wi]
+		}
+		if len(shapes) == 0 {
+			cTilesEmpty.Inc()
+			nEmpty.Add(1)
+			// No geometry in reach: no DRC violations, all densities
+			// zero — identical to what the flat run measures here.
+			dens := make([][]float64, len(densRules))
+			for di := range dens {
+				dens[di] = make([]float64, len(absWins))
+			}
+			outs[i] = tileOut{dens: dens}
+			return nil
+		}
+		var key [32]byte
+		if o.Cache != nil {
+			key = tileKey(cfg, core, pad, absWins, shapes)
+			if p, ok := o.Cache.get(key); ok {
+				cTileHit.Inc()
+				nHit.Add(1)
+				outs[i] = replayTile(p, core)
+				return nil
+			}
+		}
+		out, err := computeTile(stdctx, t, std, densRules, shapes, core, padded, absWins)
+		if err != nil {
+			return err
+		}
+		outs[i] = out
+		if o.Cache != nil {
+			cTileMiss.Inc()
+			nMiss.Add(1)
+			o.Cache.put(key, relPayload(out, core))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.EmptyTiles = int(nEmpty.Load())
+	res.Stats.TileHits = nHit.Load()
+	res.Stats.TileMisses = nMiss.Load()
+	res.Stats.ShapesExtracted = nShapes.Load()
+
+	// Stitch stage A: merge with multiplicity-aware dedup — a
+	// violation seen by several tiles (its marker straddles cores or
+	// sits in halo overlap) counts once per flat occurrence, keeping
+	// genuine in-tile duplicates intact (max multiplicity across
+	// tiles equals the flat multiplicity, since some tile sees the
+	// full local context).
+	counts := make(map[drc.Violation]int)
+	local := make(map[drc.Violation]int)
+	for i := range outs {
+		clear(local)
+		for _, v := range outs[i].viol {
+			local[v]++
+		}
+		for v, n := range local {
+			if prev := counts[v]; n > prev {
+				counts[v] = n
+			} else {
+				cStitchDedup.Add(int64(n))
+			}
+		}
+	}
+	// Density: reassemble the global per-rule value arrays and emit
+	// out-of-range windows through the rule's own formatter.
+	densVals := make([][]float64, len(densRules))
+	for di := range densRules {
+		densVals[di] = make([]float64, len(wins))
+	}
+	for i := range outs {
+		for di := range densRules {
+			for j, wi := range perTileWins[i] {
+				densVals[di][wi] = outs[i].dens[di][j]
+			}
+		}
+	}
+	for di, dr := range densRules {
+		for wi, d := range densVals[di] {
+			if d < dr.Min || d > dr.Max {
+				v := dr.Violation(wins[wi], d)
+				if counts[v] < 1 {
+					counts[v] = 1
+				}
+			}
+		}
+	}
+	var all []drc.Violation
+	for v, n := range counts {
+		for k := 0; k < n; k++ {
+			all = append(all, v)
+		}
+	}
+	sortViolations(all)
+	for _, v := range all {
+		res.ByRule[v.Rule]++
+	}
+	if o.MaxViolations > 0 && len(all) > o.MaxViolations {
+		res.Dropped = len(all) - o.MaxViolations
+		cStitchDrop.Add(int64(res.Dropped))
+		all = all[:o.MaxViolations:o.MaxViolations]
+	}
+	res.Violations = all
+	cStitchViol.Add(int64(len(all)))
+	if o.KeepDensityMaps {
+		for di, dr := range densRules {
+			res.Density[dr.Layer] = fill.DensityMap{Windows: wins, Density: densVals[di]}
+		}
+	}
+
+	// Stage B: litho hotspot scan windows. The window grid is exactly
+	// litho.ScanGrid over the layer's hierarchical bbox, so windows,
+	// pads, and the order-dependent seam dedup reproduce ScanLayer
+	// bit-for-bit; each window extracts only the geometry that can
+	// reach its padded raster (simulation pad + one pixel of grid
+	// slack), so an untouched window costs a pruned hierarchy walk.
+	var nWin, nWinEmpty, nWinHit, nWinMiss atomic.Int64
+	for _, hl := range o.Hotspots {
+		swins := litho.ScanGrid(ex.LayerBBox(hl))
+		res.Hotspots[hl] = nil
+		if len(swins) == 0 {
+			continue
+		}
+		minW, minS := o.MinWidth, o.MinSpace
+		if minW == 0 || minS == 0 {
+			dw, ds := litho.ScanDefaults(t, hl)
+			if minW == 0 {
+				minW = dw
+			}
+			if minS == 0 {
+				minS = ds
+			}
+		}
+		extPad := litho.ScanPadNM + litho.SimPadNM(t.Optics, o.HotspotCond.Defocus) +
+			2*int64(math.Ceil(t.Optics.GridNM))
+		perWin := make([][]litho.Hotspot, len(swins))
+		err := harness.ForEachErr(stdctx, o.Workers, len(swins), func(i int) error {
+			sp := hWindowNS.Start()
+			defer sp.End()
+			cWindows.Inc()
+			nWin.Add(1)
+			win := swins[i]
+			rs := ex.AppendLayerRects(win.Bloat(extPad), hl, nil)
+			if len(rs) == 0 {
+				// Nothing can reach this window's raster: the flat
+				// simulation of it is identically zero.
+				cWindowsEmpty.Inc()
+				nWinEmpty.Add(1)
+				return nil
+			}
+			var key [32]byte
+			if o.Cache != nil {
+				key = windowKey(cfg, hl, win, extPad, rs)
+				if p, ok := o.Cache.get(key); ok {
+					cWinHit.Inc()
+					nWinHit.Add(1)
+					hs := make([]litho.Hotspot, len(p.hs))
+					d := geom.Pt(win.X0, win.Y0)
+					for j, h := range p.hs {
+						h.Box = h.Box.Translate(d)
+						hs[j] = h
+					}
+					perWin[i] = hs
+					return nil
+				}
+			}
+			img, err := litho.SimulateCtx(stdctx, rs, win.Bloat(litho.ScanPadNM), t.Optics, o.HotspotCond)
+			if err != nil {
+				return err
+			}
+			var kept []litho.Hotspot
+			for _, h := range img.FindHotspots(minW, minS) {
+				if litho.ScanKeeps(win, h) {
+					kept = append(kept, h)
+				}
+			}
+			perWin[i] = kept
+			if o.Cache != nil {
+				cWinMiss.Inc()
+				nWinMiss.Add(1)
+				rel := make([]litho.Hotspot, len(kept))
+				d := geom.Pt(-win.X0, -win.Y0)
+				for j, h := range kept {
+					h.Box = h.Box.Translate(d)
+					rel[j] = h
+				}
+				o.Cache.put(key, &payload{hs: rel})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Stitch: windows in scan order with the same box-keyed seam
+		// dedup ScanLayer applies, then the deterministic total order.
+		seen := make(map[geom.Rect]bool)
+		var out []litho.Hotspot
+		for _, hs := range perWin {
+			for _, h := range hs {
+				if seen[h.Box] {
+					continue
+				}
+				seen[h.Box] = true
+				out = append(out, h)
+			}
+		}
+		sortHotspots(out)
+		res.Hotspots[hl] = out
+	}
+	res.Stats.Windows = int(nWin.Load())
+	res.Stats.EmptyWindows = int(nWinEmpty.Load())
+	res.Stats.WindowHits = nWinHit.Load()
+	res.Stats.WindowMisses = nWinMiss.Load()
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// computeTile runs the per-tile workhorses on an extracted context.
+func computeTile(ctx context.Context, t *tech.Tech, std *drc.Deck, densRules []drc.DensityWindow,
+	shapes []layout.Shape, core, padded geom.Rect, absWins []geom.Rect) (tileOut, error) {
+	tctx := drc.NewContext(t, shapes)
+	var out tileOut
+	if std != nil {
+		r := std.RunCtx(ctx, tctx, 1)
+		if err := ctx.Err(); err != nil {
+			// RunCtx returns a silently partial result on cancellation;
+			// never let it into the stitch.
+			return out, err
+		}
+		out.viol = keepViolations(r.Violations, core, padded)
+	}
+	out.dens = make([][]float64, len(densRules))
+	for di, dr := range densRules {
+		ds := make([]float64, len(absWins))
+		rs := tctx.Layers[dr.Layer]
+		for j, w := range absWins {
+			ds[j] = drc.DensityIn(rs, w)
+		}
+		out.dens[di] = ds
+	}
+	return out, nil
+}
+
+// keepViolations applies the seam rule: a tile owns a violation iff
+// the marker overlaps its core AND sits strictly inside the padded
+// window. The second clause drops truncation artifacts: any marker
+// built from geometry whose context continues beyond the pad
+// necessarily reaches the padded boundary (whole-shape extraction
+// pulls boundary-crossing shapes in full), while every genuine
+// violation that fits in the halo is strictly interior to some tile's
+// pad — exactly one per seam after dedup.
+func keepViolations(vs []drc.Violation, core, padded geom.Rect) []drc.Violation {
+	var out []drc.Violation
+	for _, v := range vs {
+		m := v.Marker
+		if !m.Overlaps(core) {
+			continue
+		}
+		if m.X0 <= padded.X0 || m.Y0 <= padded.Y0 || m.X1 >= padded.X1 || m.Y1 >= padded.Y1 {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func replayTile(p *payload, core geom.Rect) tileOut {
+	out := tileOut{dens: p.dens} // densities are translation-invariant; shared read-only
+	if len(p.viol) > 0 {
+		out.viol = make([]drc.Violation, len(p.viol))
+		d := geom.Pt(core.X0, core.Y0)
+		for j, v := range p.viol {
+			v.Marker = v.Marker.Translate(d)
+			out.viol[j] = v
+		}
+	}
+	return out
+}
+
+func relPayload(out tileOut, core geom.Rect) *payload {
+	p := &payload{dens: out.dens}
+	if len(out.viol) > 0 {
+		p.viol = make([]drc.Violation, len(out.viol))
+		d := geom.Pt(-core.X0, -core.Y0)
+		for j, v := range out.viol {
+			v.Marker = v.Marker.Translate(d)
+			p.viol[j] = v
+		}
+	}
+	return p
+}
+
+// EvaluateFlat is the flatten-everything twin of Evaluate: same
+// stages, same options, computed on the materialized flat shape list.
+// It exists as the differential oracle (tiled results must match it
+// exactly) and as the honest baseline the streaming engine is
+// benchmarked against. Memory is O(chip); do not call it on 10^7+
+// rect layouts.
+func EvaluateFlat(stdctx context.Context, t *tech.Tech, top *layout.Cell, o Opts) (*Result, error) {
+	start := time.Now()
+	o = withDefaults(t, o)
+	flat := (&layout.Layout{Top: top}).Flatten()
+	res := &Result{
+		ByRule:   make(map[string]int),
+		Hotspots: make(map[tech.Layer][]litho.Hotspot),
+		Density:  make(map[tech.Layer]fill.DensityMap),
+	}
+	res.Stats.Rects = int64(len(flat))
+	if len(flat) == 0 {
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+	tctx := drc.NewContext(t, flat)
+	var die geom.Rect
+	for _, rs := range tctx.Layers {
+		die = die.Union(geom.BBoxOf(rs))
+	}
+	res.Stats.Die = die
+
+	var all []drc.Violation
+	if o.DRC {
+		r := drc.StandardDeck(t).RunCtx(stdctx, tctx, o.Workers)
+		if err := stdctx.Err(); err != nil {
+			return nil, err
+		}
+		all = append(all, r.Violations...)
+		for k, v := range r.ByRule {
+			res.ByRule[k] += v
+		}
+	}
+	if o.Density {
+		r := drc.DensityDeck(t, o.DensityWindow).RunCtx(stdctx, tctx, o.Workers)
+		if err := stdctx.Err(); err != nil {
+			return nil, err
+		}
+		all = append(all, r.Violations...)
+		for k, v := range r.ByRule {
+			res.ByRule[k] += v
+		}
+		if o.KeepDensityMaps {
+			wins := drc.WindowGrid(die, o.DensityWindow, o.DensityWindow/2)
+			for _, dr := range drc.DensityDeck(t, o.DensityWindow).Rules {
+				dw := dr.(drc.DensityWindow)
+				rs := tctx.Layers[dw.Layer]
+				if len(rs) == 0 {
+					continue
+				}
+				dm := fill.DensityMap{Windows: wins, Density: make([]float64, len(wins))}
+				_ = harness.ForEach(stdctx, o.Workers, len(wins), func(i int) {
+					dm.Density[i] = drc.DensityIn(rs, wins[i])
+				})
+				res.Density[dw.Layer] = dm
+			}
+			if err := stdctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sortViolations(all)
+	if o.MaxViolations > 0 && len(all) > o.MaxViolations {
+		res.Dropped = len(all) - o.MaxViolations
+		all = all[:o.MaxViolations:o.MaxViolations]
+	}
+	res.Violations = all
+
+	for _, hl := range o.Hotspots {
+		hs, err := litho.ScanLayerCtx(stdctx, tctx.Layers[hl], t, hl, o.HotspotCond, o.MinWidth, o.MinSpace)
+		if err != nil {
+			return nil, err
+		}
+		sortHotspots(hs)
+		res.Hotspots[hl] = hs
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Equivalent reports whether two results agree on every evaluation
+// output — violations, rule counts, drop counts, hotspots, density
+// maps. Stats are intentionally ignored: they describe how a result
+// was computed, not what it is.
+func Equivalent(a, b *Result) bool {
+	return reflect.DeepEqual(a.Violations, b.Violations) &&
+		reflect.DeepEqual(a.ByRule, b.ByRule) &&
+		a.Dropped == b.Dropped &&
+		reflect.DeepEqual(a.Hotspots, b.Hotspots) &&
+		reflect.DeepEqual(a.Density, b.Density)
+}
+
+// sortViolations orders violations by a total order (rule, marker,
+// layer, detail) so equal multisets compare equal element-wise —
+// drc.RunCtx's (rule, Y0, X0) order is not total, and unstable sorts
+// of tied elements would make flat-vs-tiled comparison flaky.
+func sortViolations(vs []drc.Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		am, bm := a.Marker, b.Marker
+		if am.Y0 != bm.Y0 {
+			return am.Y0 < bm.Y0
+		}
+		if am.X0 != bm.X0 {
+			return am.X0 < bm.X0
+		}
+		if am.Y1 != bm.Y1 {
+			return am.Y1 < bm.Y1
+		}
+		if am.X1 != bm.X1 {
+			return am.X1 < bm.X1
+		}
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		return a.Detail < b.Detail
+	})
+}
+
+// sortHotspots extends litho's (Y0, X0, Kind) order to a total order.
+func sortHotspots(hs []litho.Hotspot) {
+	sort.Slice(hs, func(i, j int) bool {
+		a, b := hs[i], hs[j]
+		if a.Box.Y0 != b.Box.Y0 {
+			return a.Box.Y0 < b.Box.Y0
+		}
+		if a.Box.X0 != b.Box.X0 {
+			return a.Box.X0 < b.Box.X0
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Box.X1 != b.Box.X1 {
+			return a.Box.X1 < b.Box.X1
+		}
+		return a.Box.Y1 < b.Box.Y1
+	})
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(vs ...int64) int64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

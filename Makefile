@@ -36,8 +36,20 @@ CLUSTERBENCH_FLAGS ?= -cluster 3 -rate 150 -duration 8s -dup 0.5 -unique 24 -tec
 # warm-cache replay path. Every recording target ends with
 # `benchjson -check` so an empty or mangled record fails the run.
 CHIPBENCH_OUT ?= BENCH_PR7.json
+# Distributed full-chip chaos benchmark (PR8's record): two chips whose
+# floorplans share macro content, each evaluated single-process and
+# then fanned tile-by-tile across 3 dfmd backends through dfmrouter,
+# with backend n0 hard-killed during the first distributed run and
+# restarted mid-flight. The headline numbers are
+# BenchmarkFleetChip*Mismatches (must stay 0 — both distributed chips
+# bit-identical to their single-process twins despite the kill) and
+# BenchmarkFleetChip*DupPermil (fleet-wide duplicate-tile hit rate:
+# tiles shared across the two chips served from node caches instead of
+# recomputed).
+FLEETBENCH_OUT ?= BENCH_PR8.json
+FLEETBENCH_FLAGS ?= -cluster 3 -chip -chiprects 150000 -seed 11 -kill 1s -restart 3s -retries 3
 
-.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check servebench clusterbench chipbench
+.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check servebench clusterbench chipbench fleetbench
 
 tier1: ## build + vet + gofmt gate + full tests under the race detector
 	$(GO) build ./...
@@ -73,6 +85,11 @@ bench: ## run the tier-1 benchmark set and record $(BENCH_OUT)
 chipbench: ## full-chip streaming benches (tiled / warm / flat) -> $(CHIPBENCH_OUT)
 	$(GO) test -run='^$$' -bench='^BenchmarkChip' -benchmem . | $(GO) run ./cmd/benchjson -o $(CHIPBENCH_OUT)
 	$(GO) run ./cmd/benchjson -check $(CHIPBENCH_OUT)
+
+fleetbench: ## distributed full-chip chaos benchmark -> $(FLEETBENCH_OUT)
+	$(GO) build -o bin/dfmload ./cmd/dfmload
+	./bin/dfmload -bench $(FLEETBENCH_FLAGS) | $(GO) run ./cmd/benchjson -o $(FLEETBENCH_OUT)
+	$(GO) run ./cmd/benchjson -check $(FLEETBENCH_OUT)
 
 benchcmp: ## per-benchmark deltas: $(BENCH_BASE) vs $(BENCH_OUT)
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) $(BENCH_OUT)

@@ -102,7 +102,10 @@ func loadReport(path string) (*Report, error) {
 }
 
 // runCheck validates a record: it must parse and contain at least one
-// benchmark with a positive ns/op. CI runs this after every recording
+// benchmark with a positive ns/op. Individual entries may be exactly
+// zero — gauge-style lines (FailedReqs, Mismatches) report a count in
+// the ns/op slot and are healthiest at 0 — but a record that is all
+// zeros, negative, or empty fails. CI runs this after every recording
 // pipeline so a silently-empty record fails the build instead of
 // poisoning the next comparison.
 func runCheck(w io.Writer, path string) error {
@@ -113,10 +116,17 @@ func runCheck(w io.Writer, path string) error {
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("%s: record holds no benchmarks", path)
 	}
+	anyPositive := false
 	for _, b := range rep.Benchmarks {
-		if b.Name == "" || b.NsPerOp <= 0 {
+		if b.Name == "" || b.NsPerOp < 0 {
 			return fmt.Errorf("%s: malformed benchmark entry %+v", path, b)
 		}
+		if b.NsPerOp > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		return fmt.Errorf("%s: every benchmark reads 0 ns/op; record looks empty", path)
 	}
 	fmt.Fprintf(w, "benchjson: %s ok (%d benchmarks)\n", path, len(rep.Benchmarks))
 	return nil

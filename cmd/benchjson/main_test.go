@@ -184,12 +184,19 @@ func TestRunCheck(t *testing.T) {
 	if !strings.Contains(out.String(), "ok (1 benchmarks)") {
 		t.Fatalf("missing ok summary: %q", out.String())
 	}
+	// A zero entry is a legitimate gauge (Mismatches, FailedReqs) as
+	// long as the record isn't all zeros.
+	gauge := write("gauge.json", `{"benchmarks":[{"name":"BenchmarkA","iterations":5,"ns_per_op":100},{"name":"BenchmarkAMismatches","iterations":2,"ns_per_op":0}]}`)
+	if err := runCheck(&out, gauge); err != nil {
+		t.Fatalf("zero-valued gauge next to a real benchmark rejected: %v", err)
+	}
 
 	for name, content := range map[string]string{
-		"empty.json":  `{"benchmarks":[]}`,
-		"noname.json": `{"benchmarks":[{"ns_per_op":100}]}`,
-		"zerons.json": `{"benchmarks":[{"name":"BenchmarkA"}]}`,
-		"syntax.json": `{not json`,
+		"empty.json":    `{"benchmarks":[]}`,
+		"noname.json":   `{"benchmarks":[{"ns_per_op":100}]}`,
+		"zerons.json":   `{"benchmarks":[{"name":"BenchmarkA"}]}`,
+		"negative.json": `{"benchmarks":[{"name":"BenchmarkA","iterations":5,"ns_per_op":-1}]}`,
+		"syntax.json":   `{not json`,
 	} {
 		if err := runCheck(&out, write(name, content)); err == nil {
 			t.Fatalf("%s: want error", name)

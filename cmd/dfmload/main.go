@@ -14,15 +14,26 @@
 //	        [-policy P] [-kill D] [-restart D]   (cluster mode)
 //
 // Cluster mode (-cluster N) starts N in-process dfmd backends behind
-// an in-process dfmrouter and aims the load at the router. -kill D
-// hard-kills backend n0 (listener and all live connections dropped) D
-// after the load starts; -restart D brings a fresh dfmd up on the
-// same port. That is the chaos experiment: an open-loop burst, a node
-// dying mid-burst, and the router's failover path on the hook for
-// every in-flight request. The report adds router counters
-// (failovers, evictions, reinstatements) and the cluster-wide cache
-// hit rate — the number that decides whether affinity routing is hit
-// or hype versus round-robin.
+// an in-process dfmrouter (internal/fleet) and aims the load at the
+// router. -kill D hard-kills backend n0 (listener and all live
+// connections dropped) D after the load starts; -restart D brings a
+// fresh dfmd up on the same port. That is the chaos experiment: an
+// open-loop burst, a node dying mid-burst, and the router's failover
+// path on the hook for every in-flight request. The report adds
+// router counters (failovers, evictions, reinstatements) and the
+// cluster-wide cache hit rate — the number that decides whether
+// affinity routing is hit or hype versus round-robin.
+//
+// Full-chip fleet mode (-cluster N -chip) swaps the open-loop
+// technique load for the distributed tiling experiment: two SoC
+// floorplans (seeds -seed and -seed+1, sharing macro content) are
+// each evaluated single-process and then fanned tile-by-tile across
+// the fleet through the router (tiling.DistEvaluate), with the chaos
+// schedule killing and restarting a backend mid-chip. The run fails
+// unless every distributed result is bit-identical to its
+// single-process twin, and reports local vs distributed per-tile
+// latency plus the fleet-wide duplicate-tile hit rate across the two
+// chips (`make fleetbench`).
 //
 // The report prints sent/ok/shed/failed counts, client-side
 // p50/p95/p99/max end-to-end latency, and the server's own counters
@@ -41,15 +52,19 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/fleet"
+	"repro/internal/layout"
 	"repro/internal/obs"
-	"repro/internal/router"
 	"repro/internal/server"
+	"repro/internal/tech"
+	"repro/internal/tiling"
 )
 
 type loadCfg struct {
@@ -69,6 +84,9 @@ type loadCfg struct {
 	retries    int
 	waitReady  time.Duration
 	bench      bool
+
+	chip      bool
+	chipRects int64
 }
 
 func main() {
@@ -88,6 +106,8 @@ func main() {
 	retries := flag.Int("retries", 0, "client-side retries per request (client.EvalWithRetry)")
 	waitReady := flag.Duration("wait-ready", 10*time.Second, "poll /healthz this long for the server to come up")
 	bench := flag.Bool("bench", false, "emit benchmark-format result lines for benchjson")
+	chip := flag.Bool("chip", false, "cluster mode: run the distributed full-chip tiling experiment instead of the open-loop technique load")
+	chipRects := flag.Int64("chiprects", 150_000, "chip mode: target flattened rect count per chip")
 	flag.Parse()
 
 	cfg := loadCfg{
@@ -96,9 +116,15 @@ func main() {
 		rate: *rate, duration: *duration, dup: *dup, unique: *unique,
 		techniques: strings.Split(*techniques, ","), seed: *seed,
 		timeout: *timeout, retries: *retries, waitReady: *waitReady,
-		bench: *bench,
+		bench: *bench, chip: *chip, chipRects: *chipRects,
 	}
-	if err := run(cfg); err != nil {
+	var err error
+	if cfg.chip {
+		err = runFleetChip(cfg)
+	} else {
+		err = run(cfg)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfmload:", err)
 		os.Exit(1)
 	}
@@ -108,16 +134,18 @@ func run(cfg loadCfg) error {
 	if cfg.rate <= 0 || cfg.duration <= 0 {
 		return fmt.Errorf("need positive -rate and -duration")
 	}
-	var cl *clusterHarness
+	var cl *fleet.Cluster
 	switch {
 	case cfg.cluster > 0:
 		var err error
-		cl, err = startCluster(cfg.cluster, cfg.policy)
+		cl, err = fleet.Start(fleet.Options{Nodes: cfg.cluster, Policy: cfg.policy})
 		if err != nil {
 			return err
 		}
-		defer cl.stop()
-		cfg.addr = cl.routerURL
+		defer cl.Stop()
+		cfg.addr = cl.URL
+		fmt.Printf("cluster: %d backends behind %s router at %s\n",
+			cfg.cluster, cl.RT.Stats().Policy, cl.URL)
 	case cfg.selfserve:
 		stop, url, err := startInProcess()
 		if err != nil {
@@ -187,7 +215,7 @@ func run(cfg loadCfg) error {
 	var wg sync.WaitGroup
 	start := time.Now()
 	if cl != nil {
-		cl.schedule(start, cfg.kill, cfg.restart)
+		cl.Schedule(start, cfg.kill, cfg.restart)
 	}
 	for i := range reqs {
 		// Open loop: fire at the scheduled instant no matter how many
@@ -265,8 +293,8 @@ func run(cfg loadCfg) error {
 	benchName := "Serve"
 	var hitPermil int64 = -1
 	if cl != nil {
-		benchName = "Cluster" + cl.benchName
-		hitPermil = cl.report()
+		benchName = "Cluster" + cl.BenchName
+		hitPermil = cl.Report()
 	} else {
 		after, _, err := c.Metrics(context.Background())
 		if err != nil {
@@ -326,193 +354,101 @@ func startInProcess() (stop func(), url string, err error) {
 	}, "http://" + ln.Addr().String(), nil
 }
 
-// backendProc is one in-process dfmd "node": its server, HTTP
-// front, and the fixed address it must come back on after a kill.
-// The mutex covers srv/hs handle swaps: the chaos timers replace them
-// from their own goroutines while the reporter reads them.
-type backendProc struct {
-	addr string
-
-	mu  sync.Mutex
-	srv *server.Server
-	hs  *http.Server
-}
-
-func (b *backendProc) start() error {
-	ln, err := net.Listen("tcp", b.addr)
+// runFleetChip is the distributed full-chip experiment: two chips
+// whose floorplans share macro content (consecutive seeds draw from
+// the same seed-independent macro library), each evaluated locally and
+// then fanned across the fleet, with the chaos schedule riding the
+// first distributed run. Fails unless every distributed result is
+// bit-identical to its single-process twin.
+func runFleetChip(cfg loadCfg) error {
+	if cfg.cluster < 1 {
+		return fmt.Errorf("-chip needs -cluster N (the distributed run wants a fleet)")
+	}
+	cl, err := fleet.Start(fleet.Options{Nodes: cfg.cluster, Policy: cfg.policy})
 	if err != nil {
 		return err
 	}
-	srv := server.New(server.Config{})
-	hs := &http.Server{Handler: srv.Handler()}
-	go hs.Serve(ln) //nolint:errcheck // closed on kill/stop
-	b.mu.Lock()
-	b.srv, b.hs = srv, hs
-	b.mu.Unlock()
-	return nil
-}
+	defer cl.Stop()
+	if err := cl.WaitReady(cfg.waitReady); err != nil {
+		return err
+	}
+	fmt.Printf("fleet chip: %d backends behind %s router at %s\n",
+		cfg.cluster, cl.RT.Stats().Policy, cl.URL)
 
-func (b *backendProc) handles() (*server.Server, *http.Server) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.srv, b.hs
-}
+	t := tech.N45()
+	topts := tiling.Opts{
+		Tile: 24000, Halo: 2000, Workers: runtime.GOMAXPROCS(0),
+		DRC: true, Density: true, DensityWindow: 3000,
+		MaxViolations: 100_000,
+		// No local tile cache: every unit goes to the fleet, so the
+		// duplicate-tile rate below is measured fleet-wide, not hidden
+		// behind in-process reuse.
+	}
+	sub := &client.TileSubmitter{
+		C:      client.New(cl.URL, nil),
+		Policy: client.NewRetryPolicy(cfg.retries+4, cfg.seed),
+	}
 
-// kill is abrupt: the listener and every live connection drop with a
-// reset, exactly what a crashed process looks like to the router.
-// The evaluation pool is then reaped so the dead node leaks nothing.
-func (b *backendProc) kill() server.Stats {
-	srv, hs := b.handles()
-	st := srv.Stats()
-	hs.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	srv.Shutdown(ctx)
-	return st
-}
-
-// clusterHarness is the in-process chaos rig: N dfmd backends, one
-// dfmrouter, and a kill/restart schedule for backend n0.
-type clusterHarness struct {
-	backends  []*backendProc
-	rt        *router.Router
-	rhs       *http.Server
-	routerURL string
-	benchName string
-
-	mu      sync.Mutex
-	retired []server.Stats // stats captured from killed backend instances
-	timers  []*time.Timer
-}
-
-func startCluster(n int, policy string) (*clusterHarness, error) {
-	obs.SetEnabled(true)
-	cl := &clusterHarness{}
-	urls := make([]string, n)
-	for i := 0; i < n; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ctx := context.Background()
+	var (
+		mismatches         int
+		tiles              int64
+		localNS, distNS    int64
+		remCache, remDedup int64
+	)
+	for ci, seed := range []int64{cfg.seed, cfg.seed + 1} {
+		l, info, err := layout.GenerateChip(t, layout.ChipOpts{
+			Seed: seed, TargetRects: cfg.chipRects, Defects: 8,
+		})
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("generate chip %d: %w", ci+1, err)
 		}
-		addr := ln.Addr().String()
-		ln.Close()
-		b := &backendProc{addr: addr}
-		if err := b.start(); err != nil {
-			return nil, err
+		local, err := tiling.Evaluate(ctx, t, tiling.NewExtractor(l.Top), topts)
+		if err != nil {
+			return fmt.Errorf("chip %d local evaluation: %w", ci+1, err)
 		}
-		cl.backends = append(cl.backends, b)
-		urls[i] = "http://" + addr
+		if ci == 0 && cfg.kill > 0 {
+			cl.Schedule(time.Now(), cfg.kill, cfg.restart)
+		}
+		dist, err := tiling.DistEvaluate(ctx, t, tiling.NewExtractor(l.Top), topts, sub)
+		if err != nil {
+			return fmt.Errorf("chip %d distributed evaluation: %w", ci+1, err)
+		}
+		match := tiling.Equivalent(local, dist)
+		if !match {
+			mismatches++
+		}
+		tiles += int64(local.Stats.Tiles)
+		localNS += int64(local.Stats.Elapsed)
+		distNS += int64(dist.Stats.Elapsed)
+		remCache += dist.Stats.RemoteCached
+		remDedup += dist.Stats.RemoteDeduped
+		fmt.Printf("chip %d (seed %d): %d rects, %d tiles; local %v (%.1f tiles/s), dist %v (%.1f tiles/s), match=%v\n",
+			ci+1, seed, info.Rects, local.Stats.Tiles,
+			local.Stats.Elapsed.Round(time.Millisecond),
+			float64(local.Stats.Tiles)/local.Stats.Elapsed.Seconds(),
+			dist.Stats.Elapsed.Round(time.Millisecond),
+			float64(dist.Stats.Tiles)/dist.Stats.Elapsed.Seconds(), match)
 	}
-	rt, err := router.New(router.Config{
-		Backends: urls,
-		Policy:   policy,
-		// Snappy chaos settings: evict within ~300ms of a node dying,
-		// reinstate within ~300ms of it proving recovery. The breaker
-		// reacts faster still on the data path.
-		CheckInterval:   100 * time.Millisecond,
-		CheckTimeout:    500 * time.Millisecond,
-		FailAfter:       2,
-		RiseAfter:       2,
-		BreakerCooldown: 500 * time.Millisecond,
-		MaxAttempts:     4,
-		AttemptTimeout:  10 * time.Second,
-		Logf:            func(f string, a ...any) { fmt.Printf("  ["+f+"]\n", a...) },
-	})
-	if err != nil {
-		return nil, err
-	}
-	cl.rt = rt
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	cl.rhs = &http.Server{Handler: rt.Handler()}
-	go cl.rhs.Serve(ln) //nolint:errcheck // closed on stop
-	cl.routerURL = "http://" + ln.Addr().String()
-	switch rt.Stats().Policy {
-	case "affinity":
-		cl.benchName = "Affinity"
-	case "least-loaded":
-		cl.benchName = "LeastLoaded"
-	default:
-		cl.benchName = "RoundRobin"
-	}
-	fmt.Printf("cluster: %d backends behind %s router at %s\n", n, rt.Stats().Policy, cl.routerURL)
-	return cl, nil
-}
 
-// schedule arms the chaos timers relative to the load start.
-func (cl *clusterHarness) schedule(start time.Time, kill, restart time.Duration) {
-	if kill <= 0 {
-		return
+	cl.Report()
+	rs := cl.RT.Stats()
+	var dupPermil int64
+	if rs.TileJobs > 0 {
+		dupPermil = rs.TileReused * 1000 / rs.TileJobs
 	}
-	cl.timers = append(cl.timers, time.AfterFunc(time.Until(start.Add(kill)), func() {
-		st := cl.backends[0].kill()
-		cl.mu.Lock()
-		cl.retired = append(cl.retired, st)
-		cl.mu.Unlock()
-		fmt.Printf("  [chaos: backend n0 killed at +%v]\n", kill)
-	}))
-	if restart > kill {
-		cl.timers = append(cl.timers, time.AfterFunc(time.Until(start.Add(restart)), func() {
-			if err := cl.backends[0].start(); err != nil {
-				fmt.Printf("  [chaos: backend n0 restart FAILED: %v]\n", err)
-				return
-			}
-			fmt.Printf("  [chaos: backend n0 restarted at +%v]\n", restart)
-		}))
-	}
-}
+	fmt.Printf("fleet duplicate-tile hit rate: %.1f%% (%d of %d routed units; submitter saw %d cached + %d deduped)\n",
+		float64(dupPermil)/10, rs.TileReused, rs.TileJobs, remCache, remDedup)
 
-// report prints the cluster-side accounting and returns the
-// cluster-wide cache hit rate in permil.
-func (cl *clusterHarness) report() int64 {
-	cl.mu.Lock()
-	sums := append([]server.Stats(nil), cl.retired...)
-	cl.mu.Unlock()
-	for _, b := range cl.backends {
-		srv, _ := b.handles()
-		sums = append(sums, srv.Stats())
+	if cfg.bench && tiles > 0 {
+		name := "FleetChip" + cl.BenchName
+		fmt.Printf("Benchmark%sLocal \t%8d\t%12.0f ns/op\n", name, tiles, float64(localNS)/float64(tiles))
+		fmt.Printf("Benchmark%sDist \t%8d\t%12.0f ns/op\n", name, tiles, float64(distNS)/float64(tiles))
+		fmt.Printf("Benchmark%sDupPermil \t%8d\t%12.0f ns/op\n", name, rs.TileJobs, float64(dupPermil))
+		fmt.Printf("Benchmark%sMismatches \t%8d\t%12.0f ns/op\n", name, 2, float64(mismatches))
 	}
-	var hits, misses, deduped, completed, evals int64
-	for _, s := range sums {
-		hits += s.CacheHits
-		misses += s.CacheMisses
-		deduped += s.Deduped
-		completed += s.Completed
-		evals += s.CacheMisses
+	if mismatches > 0 {
+		return fmt.Errorf("%d of 2 distributed chip results diverged from single-process", mismatches)
 	}
-	rs := cl.rt.Stats()
-	fmt.Printf("cluster backends: cacheHits=%d cacheMisses=%d deduped=%d completed=%d (fresh evaluations=%d)\n",
-		hits, misses, deduped, completed, evals)
-	var permil int64
-	if hits+misses > 0 {
-		permil = hits * 1000 / (hits + misses)
-	}
-	fmt.Printf("cluster-wide cache hit rate: %.1f%% (policy=%s)\n",
-		float64(permil)/10, rs.Policy)
-	fmt.Printf("router: ok=%d failed=%d retries=%d failovers=%d breakerBlocked=%d budgetDenied=%d\n",
-		rs.OK, rs.Failed, rs.Retries, rs.Failovers, rs.BreakerBlocked, rs.BudgetDenied)
-	for _, b := range rs.Backends {
-		fmt.Printf("  backend %s: up=%v picks=%d oks=%d fails=%d sheds=%d evictions=%d reinstates=%d\n",
-			b.Name, b.Up, b.Picks, b.OKs, b.Fails, b.Sheds, b.Evictions, b.Reinstates)
-	}
-	return permil
-}
-
-func (cl *clusterHarness) stop() {
-	for _, t := range cl.timers {
-		t.Stop()
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	cl.rt.Shutdown(ctx)
-	cl.rhs.Close()
-	// A killed-and-not-restarted backend was already shut down by
-	// kill(); Shutdown and Close are both idempotent, so sweep all.
-	for _, b := range cl.backends {
-		srv, hs := b.handles()
-		srv.Shutdown(ctx)
-		hs.Close()
-	}
+	return nil
 }

@@ -24,10 +24,17 @@
 //
 //	dfmscore -chip [-chiprects N | -chipslots N] [-tile NM] [-halo NM]
 //	         [-chipcache N] [-chipflat] [-chiphotspots] [-seed N] [-parallel N] [-json]
+//	         [-cluster N [-policy P]]
 //
 // -chipflat additionally runs the flatten-everything baseline and
 // fails (exit 1) unless the streamed result matches it exactly; only
 // use it on chips small enough to flatten.
+//
+// -cluster N starts N in-process dfmd backends behind an in-process
+// dfmrouter and fans the chip's tiles across them instead of
+// computing in-process (tiling.DistEvaluate): extraction and seam
+// stitching stay local, so the distributed result is bit-identical —
+// -chipflat verifies the whole chain against the flat baseline.
 //
 // Exit status is 1 when any technique reports an error, in both
 // table and JSON modes.
@@ -43,7 +50,9 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/dfm"
+	"repro/internal/fleet"
 	"repro/internal/layout"
 	"repro/internal/obs"
 	"repro/internal/tech"
@@ -68,6 +77,8 @@ func main() {
 	chipFlat := flag.Bool("chipflat", false, "chip mode: also run the flat baseline and verify an exact match")
 	chipHot := flag.Bool("chiphotspots", false, "chip mode: include the metal1 litho hotspot scan")
 	chipDens := flag.Bool("chipdensity", true, "chip mode: include the density-window deck (its violation list dominates memory on sparse floorplans)")
+	cluster := flag.Int("cluster", 0, "chip mode: fan tiles across N in-process dfmd backends behind a dfmrouter")
+	policy := flag.String("policy", "affinity", "chip cluster mode: routing policy (affinity, least-loaded, round-robin)")
 	flag.Parse()
 
 	if *metrics != "" {
@@ -85,6 +96,7 @@ func main() {
 			seed: *seed, rects: *chipRects, slots: *chipSlots, defects: *chipDefects,
 			tile: *tile, halo: *halo, cache: *chipCache, flat: *chipFlat,
 			hotspots: *chipHot, density: *chipDens, workers: *parallel, asJSON: *asJSON,
+			cluster: *cluster, policy: *policy,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "dfmscore:", err)
 			os.Exit(1)
@@ -156,6 +168,8 @@ type chipConfig struct {
 	density  bool
 	workers  int
 	asJSON   bool
+	cluster  int
+	policy   string
 }
 
 // runChip executes the full-chip streaming experiment and prints its
@@ -180,6 +194,29 @@ func runChip(ctx context.Context, t *tech.Tech, cfg chipConfig) error {
 		},
 		Tiling:      topts,
 		CompareFlat: cfg.flat,
+	}
+	var cl *fleet.Cluster
+	if cfg.cluster > 0 {
+		var err error
+		cl, err = fleet.Start(fleet.Options{
+			Nodes: cfg.cluster, Policy: cfg.policy,
+			Logf: func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+		})
+		if err != nil {
+			return err
+		}
+		defer cl.Stop()
+		if err := cl.WaitReady(10 * time.Second); err != nil {
+			return err
+		}
+		o.Remote = &client.TileSubmitter{
+			C:      client.New(cl.URL, nil),
+			Policy: client.NewRetryPolicy(4, cfg.seed),
+		}
+		if !cfg.asJSON {
+			fmt.Printf("distributing tiles across %d dfmd backends (%s policy) at %s\n",
+				cfg.cluster, cl.RT.Stats().Policy, cl.URL)
+		}
 	}
 	rep, res, err := dfm.EvalChipTiling(ctx, t, o)
 	if err != nil {
@@ -207,6 +244,10 @@ func runChip(ctx context.Context, t *tech.Tech, cfg chipConfig) error {
 				st.TileHits, st.TileHits+st.TileMisses,
 				100*float64(st.TileHits)/float64(st.TileHits+st.TileMisses),
 				st.WindowHits)
+		}
+		if st.RemoteTiles+st.RemoteWindows > 0 {
+			fmt.Printf("  fleet:     %d tiles + %d windows evaluated remotely, %d served cached + %d deduped fleet-side\n",
+				st.RemoteTiles, st.RemoteWindows, st.RemoteCached, st.RemoteDeduped)
 		}
 		fmt.Printf("  results:   %d violations (%d dropped), %d hotspots\n",
 			rep.Violations, res.Dropped, rep.Hotspots)

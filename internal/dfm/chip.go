@@ -27,6 +27,11 @@ type ChipEvalOpts struct {
 	// results match exactly. Memory is O(chip): only enable on chips
 	// that fit flattened.
 	CompareFlat bool
+	// Remote fans tile work units across a dfmd fleet instead of
+	// computing them in-process: extraction and stitching stay local
+	// (tiling.DistEvaluate), so the result is bit-identical to the
+	// single-process run. Nil evaluates locally.
+	Remote tiling.TileClient
 }
 
 // ChipEvalReport is what a full-chip run measures.
@@ -102,7 +107,11 @@ func EvalChipTiling(ctx context.Context, t *tech.Tech, o ChipEvalOpts) (*ChipEva
 	ex := tiling.NewExtractor(l.Top)
 	rep.PeakHeapTiled, err = heapPeak(func() error {
 		var err error
-		res, err = tiling.Evaluate(ctx, t, ex, o.Tiling)
+		if o.Remote != nil {
+			res, err = tiling.DistEvaluate(ctx, t, ex, o.Tiling, o.Remote)
+		} else {
+			res, err = tiling.Evaluate(ctx, t, ex, o.Tiling)
+		}
 		return err
 	})
 	if err != nil {

@@ -38,6 +38,7 @@ type Backend struct {
 	// always-on accounting, surfaced in /metrics.
 	picks, oks, fails, sheds atomic.Int64
 	evictions, reinstates    atomic.Int64
+	tiles                    atomic.Int64
 
 	// probe bookkeeping, touched only by the health loop.
 	consecFail, consecOK int
@@ -75,6 +76,9 @@ type BackendStatus struct {
 	Sheds      int64   `json:"sheds"`
 	Evictions  int64   `json:"evictions"`
 	Reinstates int64   `json:"reinstates"`
+	// Tiles counts tile work units this backend served — how evenly
+	// the affinity ring spreads a chip across the fleet.
+	Tiles int64 `json:"tiles"`
 }
 
 func (b *Backend) status() BackendStatus {
@@ -91,5 +95,6 @@ func (b *Backend) status() BackendStatus {
 		Sheds:      b.sheds.Load(),
 		Evictions:  b.evictions.Load(),
 		Reinstates: b.reinstates.Load(),
+		Tiles:      b.tiles.Load(),
 	}
 }

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/dfm"
@@ -90,6 +92,15 @@ func (r *Router) writeRouteError(w http.ResponseWriter, err error) {
 	var ov *client.Overloaded
 	switch {
 	case errors.As(err, &ov):
+		// Same contract as a single dfmd node: the header carries the
+		// hint in whole seconds with a 1s floor (a sub-second estimate
+		// would round to 0 and spin naive callers), the JSON body the
+		// millisecond-precision value.
+		secs := int64(ov.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 		writeJSON(w, http.StatusTooManyRequests, server.ErrorBody{
 			Error:        "cluster overloaded",
 			RetryAfterMS: ov.RetryAfter.Milliseconds(),

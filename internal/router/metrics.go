@@ -17,6 +17,10 @@ var (
 	mReinstated = obs.C("dfmrouter.reinstated")
 	mBreakerHit = obs.C("dfmrouter.breaker_blocked")
 
+	// Distributed tile traffic (full-chip fan-out through the fleet).
+	mTileJobs   = obs.C("dfmrouter.tile_jobs")
+	mTileReused = obs.C("dfmrouter.tile_reused")
+
 	// mE2E is the router-side submit-to-settle latency, including
 	// every failover hop and backoff.
 	mE2E = obs.H("dfmrouter.e2e_ns")

@@ -46,7 +46,10 @@ func (p *roundRobin) Order(key string, backends []*Backend) []*Backend {
 	if n == 0 {
 		return nil
 	}
-	start := int(p.next.Add(1)-1) % n
+	// Reduce in uint64 space before converting: after the counter
+	// wraps past MaxInt64, int(counter) is negative and a signed
+	// modulo would hand out negative indexes.
+	start := int((p.next.Add(1) - 1) % uint64(n))
 	out := make([]*Backend, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, backends[(start+i)%n])

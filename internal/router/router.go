@@ -144,17 +144,22 @@ func (c Config) withDefaults() Config {
 
 // Stats is the router's always-on accounting.
 type Stats struct {
-	Policy         string          `json:"policy"`
-	Requests       int64           `json:"requests"`
-	OK             int64           `json:"ok"`
-	Failed         int64           `json:"failed"`
-	Retries        int64           `json:"retries"`
-	Failovers      int64           `json:"failovers"`
-	NoBackend      int64           `json:"noBackend"`
-	BudgetDenied   int64           `json:"retryBudgetDenied"`
-	BreakerBlocked int64           `json:"breakerBlocked"`
-	Draining       bool            `json:"draining"`
-	Backends       []BackendStatus `json:"backends"`
+	Policy         string `json:"policy"`
+	Requests       int64  `json:"requests"`
+	OK             int64  `json:"ok"`
+	Failed         int64  `json:"failed"`
+	Retries        int64  `json:"retries"`
+	Failovers      int64  `json:"failovers"`
+	NoBackend      int64  `json:"noBackend"`
+	BudgetDenied   int64  `json:"retryBudgetDenied"`
+	BreakerBlocked int64  `json:"breakerBlocked"`
+	// TileJobs counts tile work units routed to completion; TileReused
+	// counts those a backend answered from cache or deduped into an
+	// in-flight twin — the fleet-wide duplicate-tile hit signal.
+	TileJobs   int64           `json:"tileJobs"`
+	TileReused int64           `json:"tileReused"`
+	Draining   bool            `json:"draining"`
+	Backends   []BackendStatus `json:"backends"`
 }
 
 // Router routes jobs across dfmd backends. Build with New; the
@@ -175,6 +180,7 @@ type Router struct {
 	retries, failovers      atomic.Int64
 	noBackend, budgetDenied atomic.Int64
 	breakerBlocked          atomic.Int64
+	tileJobs, tileReused    atomic.Int64
 }
 
 // New builds the router and starts its health probers.
@@ -358,17 +364,39 @@ func (r *Router) route(ctx context.Context, key string, call func(context.Contex
 // Eval routes a submit-and-wait request.
 func (r *Router) Eval(ctx context.Context, req server.JobRequest) (server.JobStatus, *Backend, error) {
 	key := routeKey(req)
-	return r.route(ctx, key, func(ctx context.Context, b *Backend) (server.JobStatus, error) {
+	st, b, err := r.route(ctx, key, func(ctx context.Context, b *Backend) (server.JobStatus, error) {
 		return b.cl.Eval(ctx, req)
 	})
+	r.noteTile(req, st, b, err)
+	return st, b, err
 }
 
 // Submit routes a fire-and-poll submission.
 func (r *Router) Submit(ctx context.Context, req server.JobRequest) (server.JobStatus, *Backend, error) {
 	key := routeKey(req)
-	return r.route(ctx, key, func(ctx context.Context, b *Backend) (server.JobStatus, error) {
+	st, b, err := r.route(ctx, key, func(ctx context.Context, b *Backend) (server.JobStatus, error) {
 		return b.cl.Submit(ctx, req)
 	})
+	r.noteTile(req, st, b, err)
+	return st, b, err
+}
+
+// noteTile folds one successfully routed tile work unit into the
+// fleet-level tile accounting: total units, per-backend placement, and
+// reuse (a backend answering from its cache or deduping into an
+// in-flight twin — the signal fleetbench reports as the duplicate-tile
+// hit rate).
+func (r *Router) noteTile(req server.JobRequest, st server.JobStatus, b *Backend, err error) {
+	if err != nil || b == nil || req.Kind != server.KindTile {
+		return
+	}
+	r.tileJobs.Add(1)
+	mTileJobs.Inc()
+	b.tiles.Add(1)
+	if st.Cached || st.Deduped {
+		r.tileReused.Add(1)
+		mTileReused.Inc()
+	}
 }
 
 // routeKey is the affinity key: the same content address the backend
@@ -429,6 +457,8 @@ func (r *Router) Stats() Stats {
 		NoBackend:      r.noBackend.Load(),
 		BudgetDenied:   r.budgetDenied.Load(),
 		BreakerBlocked: r.breakerBlocked.Load(),
+		TileJobs:       r.tileJobs.Load(),
+		TileReused:     r.tileReused.Load(),
 		Draining:       r.draining.Load(),
 	}
 	for _, b := range r.backends {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -543,5 +544,38 @@ func TestPolicyOrders(t *testing.T) {
 
 	if _, err := NewPolicy("bogus", nil, 0); err == nil {
 		t.Fatal("unknown policy accepted")
+	}
+}
+
+// Regression: the round-robin counter is a uint64 that will wrap after
+// ~584 years at 1M rps — but also immediately if it ever starts high.
+// The old code converted to int before reducing, so a counter past
+// MaxInt64 produced a negative start index and Order panicked. The
+// reduction must happen in uint64 space.
+func TestRoundRobinSurvivesCounterWraparound(t *testing.T) {
+	backends := []*Backend{{Name: "n0"}, {Name: "n1"}, {Name: "n2"}}
+	rr := &roundRobin{}
+	// Walk the counter across MaxInt64 (where int conversion goes
+	// negative) and across the full uint64 wrap back to zero.
+	for _, seed := range []uint64{math.MaxInt64 - 2, math.MaxUint64 - 2} {
+		rr.next.Store(seed)
+		firsts := map[string]bool{}
+		for i := 0; i < 6; i++ {
+			ord := rr.Order("k", backends)
+			if len(ord) != 3 {
+				t.Fatalf("seed %d: order len %d, want 3", seed, len(ord))
+			}
+			seen := map[string]bool{}
+			for _, b := range ord {
+				seen[b.Name] = true
+			}
+			if len(seen) != 3 {
+				t.Fatalf("seed %d: order %v lost a backend", seed, ord)
+			}
+			firsts[ord[0].Name] = true
+		}
+		if len(firsts) != 3 {
+			t.Fatalf("seed %d: rotation collapsed across the wrap: %v", seed, firsts)
+		}
 	}
 }

@@ -17,6 +17,18 @@ import (
 	"repro/internal/dfm"
 	"repro/internal/layout"
 	"repro/internal/tech"
+	"repro/internal/tiling"
+)
+
+// Job kinds. The empty string and KindEval both mean a technique
+// evaluation — the wire shape dfmd has always spoken; KindTile is one
+// full-chip tile work unit (tiling.TileRequest), keyed by the tiling
+// engine's own content address so identical tiles from different
+// chips collapse in the cache and singleflight layers like duplicate
+// technique requests always have.
+const (
+	KindEval = "eval"
+	KindTile = "tile"
 )
 
 // BlockSpec is the wire form of the synthetic workload shape
@@ -34,14 +46,24 @@ type BlockSpec struct {
 // (same technique, tech, seed, block) are identical work — the
 // service collapses them in flight and caches their result.
 type JobRequest struct {
+	// Kind selects the job type: "" or "eval" evaluates Technique on
+	// the generated workload; "tile" executes the Tile work unit.
+	Kind string `json:"kind,omitempty"`
+
 	// Technique is one of dfm.Techniques().
-	Technique string `json:"technique"`
+	Technique string `json:"technique,omitempty"`
 	// Tech names the process node: "N45" (default) or "N45R".
 	Tech string `json:"tech,omitempty"`
 	// Seed drives workload generation; same seed, same layout.
 	Seed int64 `json:"seed"`
 	// Block overrides the default workload shape (dfm.DefaultBlock).
 	Block *BlockSpec `json:"block,omitempty"`
+
+	// Tile is the tile work unit (Kind "tile"); the technique fields
+	// above are ignored — everything that determines a tile result,
+	// its full tech node included, travels inside the TileRequest.
+	Tile *tiling.TileRequest `json:"tile,omitempty"`
+
 	// TimeoutMS caps the evaluation wall clock; 0 uses the server
 	// default, and the server clamps it to its configured maximum.
 	TimeoutMS int64 `json:"timeoutMs,omitempty"`
@@ -59,6 +81,9 @@ const (
 type JobStatus struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
+	// Kind mirrors the request kind; empty for technique evaluations,
+	// so pre-tile clients see an unchanged wire shape.
+	Kind string `json:"kind,omitempty"`
 	// Key is the content address of the request ("sha256:<hex>").
 	Key string `json:"key"`
 	// Cached marks a job answered from the result cache; Deduped
@@ -67,8 +92,10 @@ type JobStatus struct {
 	Deduped bool `json:"deduped,omitempty"`
 	// Result is set once State is done (or failed with a partial
 	// outcome); Error carries the failure summary for failed jobs.
-	Result *dfm.OutcomeView `json:"result,omitempty"`
-	Error  string           `json:"error,omitempty"`
+	// Tile jobs settle into Tile instead.
+	Result *dfm.OutcomeView   `json:"result,omitempty"`
+	Tile   *tiling.TileResult `json:"tile,omitempty"`
+	Error  string             `json:"error,omitempty"`
 }
 
 // HealthStatus is the `GET /healthz?deep=1` body: the live admission

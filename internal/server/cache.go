@@ -3,13 +3,13 @@ package server
 import (
 	"container/list"
 	"sync"
-
-	"repro/internal/dfm"
 )
 
-// resultCache is a content-addressed LRU of successful evaluation
-// outcomes. Only clean results are stored (a timeout or fault is not
-// a property of the layout), so a hit can always be served as done.
+// resultCache is a content-addressed LRU of successful job results —
+// dfm.Outcome for technique evaluations, *tiling.TileResult for tile
+// jobs (the kind is recoverable from the stored type). Only clean
+// results are stored (a timeout or fault is not a property of the
+// layout), so a hit can always be served as done.
 type resultCache struct {
 	mu  sync.Mutex
 	cap int
@@ -18,8 +18,8 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key     string
-	outcome dfm.Outcome
+	key   string
+	value any
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -33,29 +33,29 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// get returns the cached outcome and refreshes its recency.
-func (c *resultCache) get(key string) (dfm.Outcome, bool) {
+// get returns the cached result and refreshes its recency.
+func (c *resultCache) get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[key]
 	if !ok {
-		return dfm.Outcome{}, false
+		return nil, false
 	}
 	c.ll.MoveToFront(e)
-	return e.Value.(*cacheEntry).outcome, true
+	return e.Value.(*cacheEntry).value, true
 }
 
-// put stores an outcome, evicting the least recently used entry past
+// put stores a result, evicting the least recently used entry past
 // capacity.
-func (c *resultCache) put(key string, o dfm.Outcome) {
+func (c *resultCache) put(key string, v any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.m[key]; ok {
-		e.Value.(*cacheEntry).outcome = o
+		e.Value.(*cacheEntry).value = v
 		c.ll.MoveToFront(e)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, outcome: o})
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, value: v})
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)

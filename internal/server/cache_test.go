@@ -19,10 +19,10 @@ func TestResultCacheLRUEviction(t *testing.T) {
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b survived eviction despite being LRU")
 	}
-	if got, ok := c.get("a"); !ok || got.Technique != "a" {
+	if got, ok := c.get("a"); !ok || got.(dfm.Outcome).Technique != "a" {
 		t.Fatalf("a evicted or corrupted: %v %v", got, ok)
 	}
-	if got, ok := c.get("c"); !ok || got.Technique != "c" {
+	if got, ok := c.get("c"); !ok || got.(dfm.Outcome).Technique != "c" {
 		t.Fatalf("c missing: %v %v", got, ok)
 	}
 	if c.len() != 2 {
@@ -39,8 +39,8 @@ func TestResultCachePutExistingRefreshes(t *testing.T) {
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b survived")
 	}
-	if got, _ := c.get("a"); got.Technique != "a2" {
-		t.Fatalf("a = %q, want updated a2", got.Technique)
+	if got, _ := c.get("a"); got.(dfm.Outcome).Technique != "a2" {
+		t.Fatalf("a = %q, want updated a2", got.(dfm.Outcome).Technique)
 	}
 }
 
@@ -54,8 +54,8 @@ func TestResultCacheConcurrent(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				k := fmt.Sprintf("k%d", (w+i)%32)
 				c.put(k, dfm.Outcome{Technique: k})
-				if o, ok := c.get(k); ok && o.Technique != k {
-					t.Errorf("key %s returned %s", k, o.Technique)
+				if o, ok := c.get(k); ok && o.(dfm.Outcome).Technique != k {
+					t.Errorf("key %s returned %s", k, o.(dfm.Outcome).Technique)
 					return
 				}
 			}

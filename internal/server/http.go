@@ -80,7 +80,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") != "" {
 		ws, ok, werr := s.wait(r.Context(), st.ID)
 		if werr != nil {
-			writeError(w, http.StatusRequestTimeout, "canceled while waiting: "+werr.Error())
+			// The wait was cut short (client gone, proxy deadline), but
+			// the job was admitted and is still running. Answer 202
+			// with the job's current status — an anonymous 408 here
+			// would strand the job: the client could never poll or
+			// de-duplicate what it already paid to enqueue.
+			if cur, stillOK := s.Job(st.ID); stillOK {
+				st = cur
+			}
+			writeJSON(w, http.StatusAccepted, st)
 			return
 		}
 		if ok {

@@ -231,3 +231,53 @@ func TestHTTPHealthzAndMetricsAcrossDrain(t *testing.T) {
 	}
 	sub.Body.Close()
 }
+
+// A wait=1 submit whose wait is cut short (client deadline, proxy
+// timeout) must still hand back the job's identity: 202 with the full
+// JobStatus, never an anonymous timeout. The job was admitted — a
+// client that can't poll it would resubmit and double-pay.
+func TestHTTPWaitCutShortReturnsJobStatus(t *testing.T) {
+	cfg, gate := gatedConfig(Config{Workers: 1, Queue: 4, MaxWait: time.Hour})
+	s := New(cfg)
+	defer func() {
+		close(gate)
+		s.Shutdown(context.Background())
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b, err := json.Marshal(JobRequest{Technique: "sraf", Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/jobs?wait=1", bytes.NewReader(b)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Handler().ServeHTTP(rec, req)
+	}()
+	// The handler admits the job, then blocks in wait (the task is
+	// gated); cancel the request mid-wait.
+	waitFor(t, "job admitted", func() bool { return s.Stats().Submitted == 1 })
+	cancel()
+	<-done
+
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("cut-short wait status = %d, want 202", rec.Code)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(rec.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatalf("cut-short wait returned no job ID: %+v", st)
+	}
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Fatalf("cut-short wait state = %q, want queued/running", st.State)
+	}
+	// The ID it returned must be pollable.
+	if _, ok := s.Job(st.ID); !ok {
+		t.Fatalf("job %s not pollable after cut-short wait", st.ID)
+	}
+}

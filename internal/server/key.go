@@ -4,9 +4,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 
 	"repro/internal/layout"
 	"repro/internal/tech"
+	"repro/internal/tiling"
 )
 
 // keySchema versions the canonical key payload; bump it whenever the
@@ -36,6 +38,12 @@ type keyPayload struct {
 // the cached result; because it is the same canonical payload the
 // server hashes, router-side and server-side keys can never disagree.
 func KeyForRequest(req JobRequest) (string, error) {
+	if req.Kind == KindTile {
+		if req.Tile == nil {
+			return "", errors.New("tile job missing tile payload")
+		}
+		return tileRequestKey(req.Tile)
+	}
 	t, err := resolveTech(req.Tech)
 	if err != nil {
 		return "", err
@@ -45,6 +53,19 @@ func KeyForRequest(req JobRequest) (string, error) {
 		return "", err
 	}
 	return requestKey(req.Technique, t, req.Seed, base), nil
+}
+
+// tileRequestKey renders the tiling engine's content address in the
+// server's key form. No schema wrapper of its own: the tiling hash is
+// already schema-versioned and covers the full config, and reusing it
+// verbatim is what lets the engine's local cache, the server cache,
+// and the router ring all agree on "same tile".
+func tileRequestKey(tr *tiling.TileRequest) (string, error) {
+	k, err := tr.Key()
+	if err != nil {
+		return "", err
+	}
+	return "sha256:" + hex.EncodeToString(k[:]), nil
 }
 
 // requestKey returns the content address of a request:

@@ -14,6 +14,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/tech"
+	"repro/internal/tiling"
 )
 
 // Config sizes the service.
@@ -43,9 +44,11 @@ type Config struct {
 	// oldest are evicted; default 4096.
 	RetainJobs int
 
-	// newTask overrides job-task construction (tests inject gated
-	// tasks to exercise admission and shutdown deterministically).
-	newTask func(req JobRequest, t *tech.Tech, base layout.BlockOpts) (harness.Task, error)
+	// TaskFactory overrides job-task construction (tests and contract
+	// suites inject gated tasks to exercise admission and shutdown
+	// deterministically). It receives the resolved tech/block even for
+	// tile jobs, which ignore them.
+	TaskFactory func(req JobRequest, t *tech.Tech, base layout.BlockOpts) (harness.Task, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -76,8 +79,17 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs == 0 {
 		c.RetainJobs = 4096
 	}
-	if c.newTask == nil {
-		c.newTask = func(req JobRequest, t *tech.Tech, base layout.BlockOpts) (harness.Task, error) {
+	if c.TaskFactory == nil {
+		c.TaskFactory = func(req JobRequest, t *tech.Tech, base layout.BlockOpts) (harness.Task, error) {
+			if req.Kind == KindTile {
+				tr := req.Tile
+				return harness.Task{
+					Name: "tile/" + tr.Stage,
+					Run: func(ctx context.Context, attempt int) (any, error) {
+						return tiling.ExecuteTile(ctx, tr)
+					},
+				}, nil
+			}
 			return dfm.TechniqueTask(t, req.Technique, req.Seed, base)
 		}
 	}
@@ -102,6 +114,7 @@ type flight struct {
 type job struct {
 	id        string
 	key       string
+	kind      string // "" for technique evaluations, KindTile for tiles
 	technique string
 	created   time.Time
 
@@ -112,6 +125,7 @@ type job struct {
 	state   string
 	outcome dfm.Outcome
 	hasOut  bool
+	tile    *tiling.TileResult
 	errMsg  string
 	flight  *flight
 	done    chan struct{}
@@ -192,6 +206,11 @@ func (s *Server) submit(req JobRequest) (JobStatus, time.Duration, error) {
 	if s.draining.Load() {
 		return JobStatus{}, 0, errDraining
 	}
+	switch req.Kind {
+	case "", KindEval, KindTile:
+	default:
+		return JobStatus{}, 0, fmt.Errorf("unknown job kind %q", req.Kind)
+	}
 	t, err := resolveTech(req.Tech)
 	if err != nil {
 		return JobStatus{}, 0, err
@@ -200,12 +219,32 @@ func (s *Server) submit(req JobRequest) (JobStatus, time.Duration, error) {
 	if err != nil {
 		return JobStatus{}, 0, err
 	}
-	task, err := s.cfg.newTask(req, t, base)
+	var key string
+	if req.Kind == KindTile {
+		// Content address comes from the tiling engine's own hash, so
+		// the server cache, singleflight, and the router's affinity
+		// ring all see the exact key the local tile cache would use.
+		// tileRequestKey validates the payload as a side effect.
+		if req.Tile == nil {
+			return JobStatus{}, 0, errors.New("tile job missing tile payload")
+		}
+		key, err = tileRequestKey(req.Tile)
+		if err != nil {
+			return JobStatus{}, 0, err
+		}
+	} else {
+		key = requestKey(req.Technique, t, req.Seed, base)
+	}
+	task, err := s.cfg.TaskFactory(req, t, base)
 	if err != nil {
 		return JobStatus{}, 0, err
 	}
 	task.Timeout = s.jobTimeout(req.TimeoutMS)
-	key := requestKey(req.Technique, t, req.Seed, base)
+
+	kind := req.Kind
+	if kind == KindEval {
+		kind = "" // eval statuses keep the pre-tile wire shape
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -213,6 +252,7 @@ func (s *Server) submit(req JobRequest) (JobStatus, time.Duration, error) {
 	j := &job{
 		id:        fmt.Sprintf("j-%06d", s.seq.Add(1)),
 		key:       key,
+		kind:      kind,
 		technique: req.Technique,
 		created:   time.Now(),
 		state:     StateQueued,
@@ -221,11 +261,16 @@ func (s *Server) submit(req JobRequest) (JobStatus, time.Duration, error) {
 
 	// Content-addressed cache: a prior identical request already paid
 	// for this evaluation.
-	if o, ok := s.cache.get(key); ok {
+	if v, ok := s.cache.get(key); ok {
 		s.cacheHits.Add(1)
 		mCacheHit.Inc()
 		j.cached = true
-		j.settleLocked(o) // cached outcomes are always clean: done
+		switch cv := v.(type) {
+		case *tiling.TileResult:
+			j.settleLocked(dfm.Outcome{}, cv)
+		case dfm.Outcome:
+			j.settleLocked(cv, nil) // cached outcomes are always clean: done
+		}
 		s.trackLocked(j)
 		s.completed.Add(1)
 		mCompleted.Inc()
@@ -314,13 +359,22 @@ func (s *Server) estimatedWait() time.Duration {
 // complete settles every job attached to the flight with the pool
 // result, folding harness errors exactly as the batch scorecard does.
 func (s *Server) complete(key string, res harness.Result) {
-	o, ok := res.Value.(dfm.Outcome)
-	if !ok {
+	var (
+		o    dfm.Outcome
+		tile *tiling.TileResult
+	)
+	switch v := res.Value.(type) {
+	case dfm.Outcome:
+		o = v
+	case *tiling.TileResult:
+		tile = v
+	default:
 		o = dfm.Outcome{Technique: res.Name}
 	}
 	if res.Err != nil {
 		o.Err = res.Err
 		o.Verdict = dfm.Hype
+		tile = nil
 	}
 	o.Attempts = res.Attempts
 	if o.Runtime == 0 {
@@ -331,14 +385,18 @@ func (s *Server) complete(key string, res harness.Result) {
 	f := s.flights[key]
 	delete(s.flights, key)
 	if o.Err == nil {
-		s.cache.put(key, o)
+		if tile != nil {
+			s.cache.put(key, tile)
+		} else {
+			s.cache.put(key, o)
+		}
 		s.updateEWMA(res.Runtime)
 	}
 	var settled []*job
 	if f != nil {
 		settled = f.jobs
 		for _, j := range f.jobs {
-			j.settleLocked(o)
+			j.settleLocked(o, tile)
 		}
 	}
 	s.mu.Unlock()
@@ -376,9 +434,12 @@ func (s *Server) updateEWMA(d time.Duration) {
 }
 
 // settleLocked moves a job to its terminal state. Callers hold s.mu.
-func (j *job) settleLocked(o dfm.Outcome) {
+// Tile jobs settle into tile (hasOut stays false so the status never
+// grows a technique Result); failed tiles carry only the error.
+func (j *job) settleLocked(o dfm.Outcome, tile *tiling.TileResult) {
 	j.outcome = o
-	j.hasOut = true
+	j.tile = tile
+	j.hasOut = tile == nil && j.kind != KindTile
 	j.flight = nil
 	if o.Err != nil {
 		j.state = StateFailed
@@ -398,6 +459,7 @@ func (j *job) statusLocked() JobStatus {
 	st := JobStatus{
 		ID:      j.id,
 		State:   j.state,
+		Kind:    j.kind,
 		Key:     j.key,
 		Cached:  j.cached,
 		Deduped: j.deduped,
@@ -410,6 +472,7 @@ func (j *job) statusLocked() JobStatus {
 		v := dfm.NewOutcomeView(j.outcome)
 		st.Result = &v
 	}
+	st.Tile = j.tile
 	return st
 }
 

@@ -18,7 +18,7 @@ import (
 // Tasks honor ctx while blocked, so forced shutdown can cancel them.
 func gatedConfig(cfg Config) (Config, chan struct{}) {
 	gate := make(chan struct{})
-	cfg.newTask = func(req JobRequest, t *tech.Tech, base layout.BlockOpts) (harness.Task, error) {
+	cfg.TaskFactory = func(req JobRequest, t *tech.Tech, base layout.BlockOpts) (harness.Task, error) {
 		if _, err := dfm.TechniqueTask(t, req.Technique, req.Seed, base); err != nil {
 			return harness.Task{}, err
 		}
@@ -209,7 +209,7 @@ func TestFailedEvaluationNotCached(t *testing.T) {
 	boom := errors.New("workload exploded")
 	fail := true
 	cfg := Config{Workers: 1, Queue: 4, MaxWait: time.Hour, Retries: -1}
-	cfg.newTask = func(req JobRequest, t *tech.Tech, base layout.BlockOpts) (harness.Task, error) {
+	cfg.TaskFactory = func(req JobRequest, t *tech.Tech, base layout.BlockOpts) (harness.Task, error) {
 		return harness.Task{Name: req.Technique, Run: func(ctx context.Context, attempt int) (any, error) {
 			if fail {
 				return nil, boom

@@ -1,0 +1,298 @@
+package tiling
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// loopback is a TileClient that round-trips the request and result
+// through JSON — exactly what the HTTP path does — and executes the
+// unit with the reference executor. DistEvaluate through loopback must
+// therefore be bit-identical to Evaluate, or the wire form loses
+// information.
+type loopback struct {
+	tiles, windows atomic.Int64
+}
+
+func (lb *loopback) EvalTile(ctx context.Context, req *TileRequest) (*TileResult, TileServed, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, TileServed{}, err
+	}
+	var wire TileRequest
+	if err := json.Unmarshal(b, &wire); err != nil {
+		return nil, TileServed{}, err
+	}
+	switch wire.Stage {
+	case StageTile:
+		lb.tiles.Add(1)
+	case StageWindow:
+		lb.windows.Add(1)
+	}
+	res, err := ExecuteTile(ctx, &wire)
+	if err != nil {
+		return nil, TileServed{}, err
+	}
+	rb, err := json.Marshal(res)
+	if err != nil {
+		return nil, TileServed{}, err
+	}
+	var out TileResult
+	if err := json.Unmarshal(rb, &out); err != nil {
+		return nil, TileServed{}, err
+	}
+	return &out, TileServed{}, nil
+}
+
+// The headline distributed differential: a generated chip with injected
+// defects, evaluated in-process and through the wire loopback. Every
+// violation, density window, and stat-visible remote counter must line
+// up.
+func TestDistEvaluateMatchesLocal(t *testing.T) {
+	tt := tech.N45()
+	top := chipTop(t, layout.ChipOpts{
+		Seed: 3, Slots: 2, SlotPitch: 15000, Defects: 3,
+		MacroMix: []int{0, 1, 1, 1},
+	})
+	o := Opts{DRC: true, Density: true, DensityWindow: 3000, KeepDensityMaps: true,
+		Tile: 9000, Halo: 2000, Workers: 4}
+
+	local, err := Evaluate(context.Background(), tt, NewExtractor(top), o)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(local.Violations) == 0 {
+		t.Fatal("local evaluation produced no violations; differential is vacuous")
+	}
+
+	lb := &loopback{}
+	dist, err := DistEvaluate(context.Background(), tt, NewExtractor(top), o, lb)
+	if err != nil {
+		t.Fatalf("DistEvaluate: %v", err)
+	}
+	diffResults(t, "distributed", dist, local)
+	if !Equivalent(dist, local) {
+		t.Error("Equivalent(dist, local) = false")
+	}
+	if dist.Stats.RemoteTiles == 0 {
+		t.Fatal("DistEvaluate sent no tiles to the fleet")
+	}
+	if dist.Stats.RemoteTiles != lb.tiles.Load() {
+		t.Errorf("Stats.RemoteTiles = %d, loopback served %d", dist.Stats.RemoteTiles, lb.tiles.Load())
+	}
+	// Empty tiles must short-circuit locally, never hit the wire.
+	if wantSent := int64(dist.Stats.Tiles - dist.Stats.EmptyTiles); lb.tiles.Load() != wantSent {
+		t.Errorf("loopback served %d tiles, want non-empty count %d", lb.tiles.Load(), wantSent)
+	}
+}
+
+// Full-stack distributed differential including the litho hotspot scan:
+// stage-B windows go over the wire too, and the stitched hotspot set
+// must be exact.
+func TestDistEvaluateMatchesLocalFullStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("litho simulation differential is slow; skipped in -short")
+	}
+	tt := tech.N45()
+	// Compact hierarchical cell from the flat differential: a 30nm
+	// drawn neck guarantees printed pinches, instances straddle both
+	// the tile and the scan-window boundary.
+	leaf := layout.NewCell("X_DLEAF")
+	leaf.Add(tech.Metal1, geom.R(0, 0, 90, 1000))
+	leaf.Add(tech.Metal1, geom.R(30, 1000, 60, 1200))
+	leaf.Add(tech.Metal1, geom.R(0, 1200, 90, 2200))
+	leaf.Add(tech.Metal2, geom.R(200, 0, 1400, 1200))
+	top := layout.NewCell("X_DCHIP")
+	for _, at := range []geom.Point{
+		geom.Pt(500, 500), geom.Pt(7950, 3000), geom.Pt(11960, 6000),
+	} {
+		top.Place(leaf, geom.Translate(at.X, at.Y), fmt.Sprintf("u%d_%d", at.X, at.Y))
+	}
+	top.Add(tech.Metal1, geom.R(12500, 12500, 13000, 13000))
+	top.Add(tech.Metal1, geom.R(0, 12500, 500, 13000))
+	o := DefaultOpts()
+	o.Tile, o.Halo = 8000, 2000
+	o.Workers = 4
+
+	local, err := Evaluate(context.Background(), tt, NewExtractor(top), o)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(local.Hotspots[tech.Metal1]) == 0 {
+		t.Fatal("expected printed pinch hotspots; differential is vacuous")
+	}
+
+	lb := &loopback{}
+	dist, err := DistEvaluate(context.Background(), tt, NewExtractor(top), o, lb)
+	if err != nil {
+		t.Fatalf("DistEvaluate: %v", err)
+	}
+	diffResults(t, "distributed full stack", dist, local)
+	if dist.Stats.RemoteWindows == 0 || dist.Stats.RemoteWindows != lb.windows.Load() {
+		t.Errorf("Stats.RemoteWindows = %d, loopback served %d, want equal and > 0",
+			dist.Stats.RemoteWindows, lb.windows.Load())
+	}
+}
+
+// DistEvaluate without a client is a programming error, not a silent
+// local fallback.
+func TestDistEvaluateNilClient(t *testing.T) {
+	_, err := DistEvaluate(context.Background(), tech.N45(), NewExtractor(layout.NewCell("X_NIL")), Opts{Tile: 8000, Halo: 100, DRC: true}, nil)
+	if err == nil {
+		t.Fatal("DistEvaluate(nil client) succeeded, want error")
+	}
+}
+
+// The content address must be frame-independent: the same relative
+// geometry submitted from two different chip locations (or two
+// different chips) is the same work unit, fleet-wide.
+func TestTileRequestKeyTranslationInvariant(t *testing.T) {
+	tt := tech.N45()
+	o := Opts{DRC: true, Density: true, DensityWindow: 3000}
+	dens := []tech.Layer{tech.Metal1, tech.Metal2}
+	shapesAt := func(ox, oy int64) []layout.Shape {
+		return []layout.Shape{
+			{Layer: tech.Metal1, R: geom.R(ox+100, oy+100, ox+400, oy+1100)},
+			{Layer: tech.Metal2, R: geom.R(ox+600, oy+200, ox+900, oy+1400)},
+		}
+	}
+	winsAt := func(ox, oy int64) []geom.Rect {
+		return []geom.Rect{geom.R(ox, oy, ox+3000, oy+3000)}
+	}
+	reqA := tileWireRequest(tt, o, dens, geom.R(0, 0, 8000, 8000), 2000, winsAt(0, 0), shapesAt(0, 0))
+	reqB := tileWireRequest(tt, o, dens, geom.R(56000, 24000, 64000, 32000), 2000, winsAt(56000, 24000), shapesAt(56000, 24000))
+	ka, err := reqA.Key()
+	if err != nil {
+		t.Fatalf("Key(A): %v", err)
+	}
+	kb, err := reqB.Key()
+	if err != nil {
+		t.Fatalf("Key(B): %v", err)
+	}
+	if ka != kb {
+		t.Error("identical relative content from different origins hashed to different keys")
+	}
+
+	// Different content must not collide.
+	reqC := tileWireRequest(tt, o, dens, geom.R(0, 0, 8000, 8000), 2000, winsAt(0, 0), shapesAt(0, 50))
+	kc, err := reqC.Key()
+	if err != nil {
+		t.Fatalf("Key(C): %v", err)
+	}
+	if ka == kc {
+		t.Error("different shape content hashed to the same key")
+	}
+
+	// Stage-B windows: same invariance for the scan-window form.
+	rectsAt := func(ox, oy int64) []geom.Rect {
+		return []geom.Rect{geom.R(ox+10, oy+10, ox+100, oy+2000)}
+	}
+	wa := windowWireRequest(tt, o, dens, tech.Metal1, geom.R(0, 0, 12000, 12000), 500, rectsAt(0, 0))
+	wb := windowWireRequest(tt, o, dens, tech.Metal1, geom.R(36000, 12000, 48000, 24000), 500, rectsAt(36000, 12000))
+	kwa, err := wa.Key()
+	if err != nil {
+		t.Fatalf("Key(window A): %v", err)
+	}
+	kwb, err := wb.Key()
+	if err != nil {
+		t.Fatalf("Key(window B): %v", err)
+	}
+	if kwa != kwb {
+		t.Error("identical window content from different origins hashed to different keys")
+	}
+	if kwa == ka {
+		t.Error("window and tile units hashed to the same key")
+	}
+}
+
+// The key must survive the wire: a JSON round-trip of a request is the
+// same work unit.
+func TestTileRequestKeySurvivesJSON(t *testing.T) {
+	tt := tech.N45()
+	req := tileWireRequest(tt, Opts{DRC: true}, nil, geom.R(0, 0, 8000, 8000), 2000,
+		nil, []layout.Shape{{Layer: tech.Metal1, R: geom.R(100, 100, 400, 1100)}})
+	k0, err := req.Key()
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back TileRequest
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	k1, err := back.Key()
+	if err != nil {
+		t.Fatalf("Key(round-trip): %v", err)
+	}
+	if k0 != k1 {
+		t.Error("JSON round-trip changed the content address")
+	}
+}
+
+func TestTileRequestValidate(t *testing.T) {
+	tt := tech.N45()
+	good := tileWireRequest(tt, Opts{DRC: true}, nil, geom.R(0, 0, 8000, 8000), 2000, nil, nil)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*TileRequest)
+		want string
+	}{
+		{"schema skew", func(r *TileRequest) { r.Schema = TileSchema + 1 }, "schema"},
+		{"unknown stage", func(r *TileRequest) { r.Stage = "banana" }, "stage"},
+		{"negative pad", func(r *TileRequest) { r.Pad = -1 }, "pad"},
+		{"empty core", func(r *TileRequest) { r.CoreW = 0 }, "core"},
+	}
+	for _, tc := range cases {
+		r := *good
+		tc.mut(&r)
+		err := r.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+	win := windowWireRequest(tt, DefaultOpts(), nil, tech.Metal1, geom.R(0, 0, 12000, 12000), 500, nil)
+	if err := win.Validate(); err != nil {
+		t.Fatalf("valid window request rejected: %v", err)
+	}
+	win.WinH = 0
+	if err := win.Validate(); err == nil {
+		t.Error("empty window passed Validate")
+	}
+	var nilReq *TileRequest
+	if err := nilReq.Validate(); err == nil {
+		t.Error("nil request passed Validate")
+	}
+}
+
+// Version-skewed or confused nodes must fail the run loudly: a result
+// whose density shape disagrees with the submitted tile is rejected at
+// absorb time, never stitched.
+func TestAbsorbTileResultShapeChecks(t *testing.T) {
+	core := geom.R(0, 0, 8000, 8000)
+	if _, err := absorbTileResult(nil, core, 0, 0); err == nil {
+		t.Error("nil result absorbed")
+	}
+	if _, err := absorbTileResult(&TileResult{Dens: [][]float64{{0.5}}}, core, 2, 1); err == nil {
+		t.Error("wrong density row count absorbed")
+	}
+	if _, err := absorbTileResult(&TileResult{Dens: [][]float64{{0.5, 0.5}, {0.1}}}, core, 2, 2); err == nil {
+		t.Error("ragged density row absorbed")
+	}
+	if _, err := absorbTileResult(&TileResult{Dens: [][]float64{{0.5}, {0.1}}}, core, 2, 1); err != nil {
+		t.Errorf("well-shaped result rejected: %v", err)
+	}
+}

@@ -26,22 +26,32 @@ import (
 
 // keySchema versions the key payload; bump on any change to payload
 // shape or to the semantics of any per-tile computation.
-const keySchema = 1
+// Schema 2 folded the enabled density layers into the config hash:
+// which density rules run in a tile is a chip-global property (a
+// layer empty everywhere is skipped, a tile-locally empty one is
+// not), so without it two chips could alias tiles whose density
+// outputs have different shapes.
+const keySchema = 2
 
 // configKey hashes the run-wide parameters shared by every tile key:
 // the full technology (rules derive the DRC deck and scan thresholds)
-// and the evaluation options that alter per-tile results.
-func configKey(t *tech.Tech, o Opts) [sha256.Size]byte {
+// and the evaluation options that alter per-tile results. densLayers
+// is the chip-global enabled density rule set in deck order.
+func configKey(t *tech.Tech, o Opts, densLayers []tech.Layer) [sha256.Size]byte {
+	if len(densLayers) == 0 {
+		densLayers = nil // canonical: empty and absent hash identically
+	}
 	p := struct {
 		Schema  int             `json:"schema"`
 		Tech    tech.Tech       `json:"tech"`
 		DRC     bool            `json:"drc"`
 		Density bool            `json:"density"`
 		DensW   int64           `json:"densW"`
+		DensL   []tech.Layer    `json:"densL"`
 		Cond    litho.Condition `json:"cond"`
 		MinW    int64           `json:"minW"`
 		MinS    int64           `json:"minS"`
-	}{keySchema, *t, o.DRC, o.Density, o.DensityWindow, o.HotspotCond, o.MinWidth, o.MinSpace}
+	}{keySchema, *t, o.DRC, o.Density, o.DensityWindow, densLayers, o.HotspotCond, o.MinWidth, o.MinSpace}
 	b, err := json.Marshal(p)
 	if err != nil {
 		panic("tiling: config key marshal: " + err.Error())

@@ -24,4 +24,10 @@ var (
 	cStitchViol  = obs.C("tiling.stitch.violations")
 	cStitchDedup = obs.C("tiling.stitch.deduped")
 	cStitchDrop  = obs.C("tiling.stitch.dropped")
+
+	// Distributed submission (DistEvaluate).
+	cRemoteTiles   = obs.C("tiling.remote.tiles")
+	cRemoteWindows = obs.C("tiling.remote.windows")
+	cRemoteCached  = obs.C("tiling.remote.cached")
+	cRemoteDeduped = obs.C("tiling.remote.deduped")
 )

@@ -2,6 +2,8 @@ package tiling
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math"
 	"reflect"
 	"runtime"
@@ -127,6 +129,15 @@ type Stats struct {
 
 	ShapesExtracted int64 // total shapes handed to per-tile contexts
 	Elapsed         time.Duration
+
+	// Distributed submission accounting (DistEvaluate only):
+	// RemoteTiles/RemoteWindows count work units submitted to the
+	// fleet (empty units short-circuit locally and are never sent);
+	// RemoteCached/RemoteDeduped count those the serving tier answered
+	// from a node's result cache or collapsed into an identical
+	// in-flight evaluation — fleet-wide dedupe, across chips.
+	RemoteTiles, RemoteWindows  int64
+	RemoteCached, RemoteDeduped int64
 }
 
 // Result is a stitched whole-chip evaluation.
@@ -168,6 +179,36 @@ func EvaluateChip(ctx context.Context, t *tech.Tech, top *layout.Cell, o Opts) (
 // result reproduces a flat evaluation exactly (for violations whose
 // markers fit inside the halo — see Opts.Halo).
 func Evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts) (*Result, error) {
+	return evaluate(stdctx, t, ex, o, nil)
+}
+
+// DistEvaluate is Evaluate with the per-unit computation farmed out to
+// a dfmd fleet: the extractor still cuts and extracts every tile
+// locally (extraction is a pruned hierarchy walk — cheap and
+// impossible to distribute without shipping the chip), but each
+// non-empty tile and scan window is submitted through rc, typically a
+// client.TileSubmitter pointed at a dfmrouter, whose affinity ring
+// routes the unit's content address to the node most likely to hold
+// it cached. Opts.Workers bounds the in-flight submission window;
+// per-unit retry and replica failover live in the TileClient (the
+// router's breaker + retry-budget machinery). Results stream into the
+// same stitcher as the local path, so the distributed result is
+// bit-identical to single-process Evaluate — a lost or duplicated
+// tile is structurally impossible (each unit settles into its own
+// slot, and a unit that cannot be computed fails the run rather than
+// stitching partially).
+func DistEvaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, rc TileClient) (*Result, error) {
+	if rc == nil {
+		return nil, errors.New("tiling: DistEvaluate needs a TileClient")
+	}
+	return evaluate(stdctx, t, ex, o, rc)
+}
+
+// evaluate is the engine shared by Evaluate (remote == nil, units
+// computed in-process) and DistEvaluate (units executed through
+// remote). The grid cut, extraction, caching, and stitching are one
+// code path; only the "compute this unit" step dispatches.
+func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remote TileClient) (*Result, error) {
 	start := time.Now()
 	o = withDefaults(t, o)
 	res := &Result{
@@ -182,7 +223,6 @@ func Evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts) (*Res
 		res.Stats.Elapsed = time.Since(start)
 		return res, nil
 	}
-	cfg := configKey(t, o)
 
 	// Rule decks. ByRule gets a zero entry for every rule of every
 	// enabled deck, mirroring drc.Deck.RunCtx.
@@ -206,6 +246,13 @@ func Evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts) (*Res
 			}
 		}
 	}
+	// The config hash covers the enabled density layers — a
+	// chip-global property the per-tile key cannot see (see keySchema).
+	var densLayers []tech.Layer
+	for _, dr := range densRules {
+		densLayers = append(densLayers, dr.Layer)
+	}
+	cfg := configKey(t, o, densLayers)
 
 	// Global density window grid: windows are anchored at the die
 	// corner like the flat rule's, and each is assigned to the unique
@@ -235,6 +282,7 @@ func Evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts) (*Res
 	// Stage A: tiles (DRC + density).
 	outs := make([]tileOut, nT)
 	var nEmpty, nHit, nMiss, nShapes atomic.Int64
+	var nRemT, nRemW, nRemC, nRemD atomic.Int64
 	res.Stats.Tiles = nT
 	err := harness.ForEachErr(stdctx, o.Workers, nT, func(i int) error {
 		sp := hTileNS.Start()
@@ -274,9 +322,30 @@ func Evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts) (*Res
 				return nil
 			}
 		}
-		out, err := computeTile(stdctx, t, std, densRules, shapes, core, padded, absWins)
-		if err != nil {
-			return err
+		var out tileOut
+		if remote != nil {
+			cRemoteTiles.Inc()
+			nRemT.Add(1)
+			tr, served, err := remote.EvalTile(stdctx, tileWireRequest(t, o, densLayers, core, pad, absWins, shapes))
+			if err != nil {
+				return fmt.Errorf("tile %d: %w", i, err)
+			}
+			if served.Cached {
+				cRemoteCached.Inc()
+				nRemC.Add(1)
+			}
+			if served.Deduped {
+				cRemoteDeduped.Inc()
+				nRemD.Add(1)
+			}
+			if out, err = absorbTileResult(tr, core, len(densRules), len(absWins)); err != nil {
+				return fmt.Errorf("tile %d: %w", i, err)
+			}
+		} else {
+			var err error
+			if out, err = computeTile(stdctx, t, std, densRules, shapes, core, padded, absWins); err != nil {
+				return err
+			}
 		}
 		outs[i] = out
 		if o.Cache != nil {
@@ -417,14 +486,34 @@ func Evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts) (*Res
 					return nil
 				}
 			}
-			img, err := litho.SimulateCtx(stdctx, rs, win.Bloat(litho.ScanPadNM), t.Optics, o.HotspotCond)
-			if err != nil {
-				return err
-			}
 			var kept []litho.Hotspot
-			for _, h := range img.FindHotspots(minW, minS) {
-				if litho.ScanKeeps(win, h) {
-					kept = append(kept, h)
+			if remote != nil {
+				cRemoteWindows.Inc()
+				nRemW.Add(1)
+				tr, served, err := remote.EvalTile(stdctx, windowWireRequest(t, o, densLayers, hl, win, extPad, rs))
+				if err != nil {
+					return fmt.Errorf("%s scan window %d: %w", hl, i, err)
+				}
+				if served.Cached {
+					cRemoteCached.Inc()
+					nRemC.Add(1)
+				}
+				if served.Deduped {
+					cRemoteDeduped.Inc()
+					nRemD.Add(1)
+				}
+				if kept, err = absorbWindowResult(tr, win); err != nil {
+					return fmt.Errorf("%s scan window %d: %w", hl, i, err)
+				}
+			} else {
+				img, err := litho.SimulateCtx(stdctx, rs, win.Bloat(litho.ScanPadNM), t.Optics, o.HotspotCond)
+				if err != nil {
+					return err
+				}
+				for _, h := range img.FindHotspots(minW, minS) {
+					if litho.ScanKeeps(win, h) {
+						kept = append(kept, h)
+					}
 				}
 			}
 			perWin[i] = kept
@@ -464,6 +553,10 @@ func Evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts) (*Res
 	res.Stats.EmptyWindows = int(nWinEmpty.Load())
 	res.Stats.WindowHits = nWinHit.Load()
 	res.Stats.WindowMisses = nWinMiss.Load()
+	res.Stats.RemoteTiles = nRemT.Load()
+	res.Stats.RemoteWindows = nRemW.Load()
+	res.Stats.RemoteCached = nRemC.Load()
+	res.Stats.RemoteDeduped = nRemD.Load()
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -1,0 +1,306 @@
+package tiling
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/litho"
+	"repro/internal/tech"
+)
+
+// Distributed tile evaluation wire types. One TileRequest is one unit
+// of chip work — a stage-A DRC/density tile or a stage-B litho scan
+// window — with all geometry re-based to the unit's own origin. That
+// origin frame is what makes the fleet honest: the content address
+// (TileRequest.Key, the same tileKey/windowKey hash the local cache
+// uses) depends only on what is computed, never on where on which chip
+// it came from, so identical tiles from different chips collapse onto
+// one cache entry fleet-wide; and because every per-tile computation
+// is translation-invariant (the local cache replays results by
+// translation, proven bit-identical by the tiling tests), executing at
+// the origin on another machine and translating back is exact.
+
+// TileSchema versions the TileRequest wire payload; a node built with
+// a different schema rejects the request rather than mis-evaluating it.
+const TileSchema = 1
+
+// TileRequest stages.
+const (
+	// StageTile is one DRC + density core tile: shapes extracted over
+	// the halo-padded window, density windows assigned to this core.
+	StageTile = "tile"
+	// StageWindow is one litho hotspot scan window: layer rects
+	// extracted over the simulation-padded window.
+	StageWindow = "window"
+)
+
+// TileRequest is one tile work unit in wire form. Geometry is
+// origin-relative: the core (or scan window) spans (0,0)-(CoreW,CoreH)
+// and shapes/windows/rects are translated accordingly. The deck
+// configuration fields mirror exactly what configKey hashes, so the
+// submitting engine, the router's affinity ring, and the serving
+// node's cache all derive the same content address.
+type TileRequest struct {
+	Schema int    `json:"schema"`
+	Stage  string `json:"stage"`
+
+	// Tech is the full process node (rules derive the decks and scan
+	// thresholds); name-only would under-key custom nodes.
+	Tech tech.Tech `json:"tech"`
+	// DRC/Density/DensityWindow select the stage-A decks.
+	// DensityLayers is the chip-global enabled density rule set in
+	// deck order — a layer empty across the whole chip is skipped
+	// exactly as the flat rule skips it, which only the submitter can
+	// know.
+	DRC           bool         `json:"drc,omitempty"`
+	Density       bool         `json:"density,omitempty"`
+	DensityWindow int64        `json:"densityWindow,omitempty"`
+	DensityLayers []tech.Layer `json:"densityLayers,omitempty"`
+	// Cond and MinWidth/MinSpace parameterize stage-B scans; raw
+	// zeros mean the per-layer litho.ScanDefaults, resolved
+	// identically on both sides.
+	Cond     litho.Condition `json:"cond"`
+	MinWidth int64           `json:"minWidth,omitempty"`
+	MinSpace int64           `json:"minSpace,omitempty"`
+
+	// Stage "tile": the core spans (0,0)-(CoreW,CoreH); Pad is the
+	// context halo; Windows are the core's density windows and Shapes
+	// the whole-shape extraction over the padded window, both
+	// core-relative.
+	CoreW   int64          `json:"coreW,omitempty"`
+	CoreH   int64          `json:"coreH,omitempty"`
+	Pad     int64          `json:"pad"`
+	Windows []geom.Rect    `json:"windows,omitempty"`
+	Shapes  []layout.Shape `json:"shapes,omitempty"`
+
+	// Stage "window": the scan window spans (0,0)-(WinW,WinH); Pad is
+	// the extraction pad; Rects are the layer rects, window-relative.
+	Layer tech.Layer  `json:"layer,omitempty"`
+	WinW  int64       `json:"winW,omitempty"`
+	WinH  int64       `json:"winH,omitempty"`
+	Rects []geom.Rect `json:"rects,omitempty"`
+}
+
+// TileResult is the unit's output, in the same origin frame as its
+// request: violation markers core-relative, hotspot boxes
+// window-relative, densities (translation-invariant) as
+// [densityRule][window] in request order.
+type TileResult struct {
+	Violations []drc.Violation `json:"violations,omitempty"`
+	Dens       [][]float64     `json:"dens,omitempty"`
+	Hotspots   []litho.Hotspot `json:"hotspots,omitempty"`
+}
+
+// TileServed reports how the serving tier answered one work unit:
+// Cached from a node's content-addressed result cache, Deduped by
+// collapsing into an identical in-flight evaluation. Both mean the
+// fleet skipped a redundant computation.
+type TileServed struct {
+	Cached  bool
+	Deduped bool
+}
+
+// TileClient executes one tile work unit, usually remotely through a
+// dfmd node or a dfmrouter fleet (client.TileSubmitter adapts the
+// typed HTTP client, with per-unit retry/failover). Implementations
+// must be safe for concurrent use: DistEvaluate calls EvalTile from
+// Opts.Workers goroutines at once.
+type TileClient interface {
+	EvalTile(ctx context.Context, req *TileRequest) (*TileResult, TileServed, error)
+}
+
+// Validate checks the request is well-formed for this build.
+func (r *TileRequest) Validate() error {
+	if r == nil {
+		return errors.New("tiling: nil tile request")
+	}
+	if r.Schema != TileSchema {
+		return fmt.Errorf("tiling: tile request schema %d, this build speaks %d", r.Schema, TileSchema)
+	}
+	if r.Pad < 0 {
+		return errors.New("tiling: tile request has negative pad")
+	}
+	switch r.Stage {
+	case StageTile:
+		if r.CoreW <= 0 || r.CoreH <= 0 {
+			return fmt.Errorf("tiling: tile request core %dx%d not positive", r.CoreW, r.CoreH)
+		}
+	case StageWindow:
+		if r.WinW <= 0 || r.WinH <= 0 {
+			return fmt.Errorf("tiling: tile request window %dx%d not positive", r.WinW, r.WinH)
+		}
+	default:
+		return fmt.Errorf("tiling: unknown tile request stage %q", r.Stage)
+	}
+	return nil
+}
+
+// keyOpts reconstructs the Opts fields configKey hashes from the wire
+// form.
+func (r *TileRequest) keyOpts() Opts {
+	return Opts{
+		DRC: r.DRC, Density: r.Density, DensityWindow: r.DensityWindow,
+		HotspotCond: r.Cond, MinWidth: r.MinWidth, MinSpace: r.MinSpace,
+	}
+}
+
+// Key is the unit's content address — the exact tileKey/windowKey hash
+// the local evaluation cache uses, computed in the origin frame where
+// the translation is the identity. The serving node keys its job
+// cache, singleflight, and the router its affinity ring on this, so
+// "same work" means the same thing at every layer of the fleet.
+func (r *TileRequest) Key() ([sha256.Size]byte, error) {
+	if err := r.Validate(); err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	cfg := configKey(&r.Tech, r.keyOpts(), r.DensityLayers)
+	if r.Stage == StageTile {
+		return tileKey(cfg, geom.R(0, 0, r.CoreW, r.CoreH), r.Pad, r.Windows, r.Shapes), nil
+	}
+	return windowKey(cfg, r.Layer, geom.R(0, 0, r.WinW, r.WinH), r.Pad, r.Rects), nil
+}
+
+// ExecuteTile runs one work unit locally — the serving side of the
+// distributed engine, and the reference executor DistEvaluate is
+// exact against. The computation is the same computeTile / scan-window
+// path Evaluate runs, at the origin frame the request arrived in.
+func ExecuteTile(ctx context.Context, r *TileRequest) (*TileResult, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	t := r.Tech // decks want a *tech.Tech; the copy keeps r immutable
+	if r.Stage == StageTile {
+		var std *drc.Deck
+		if r.DRC {
+			std = drc.StandardDeck(&t)
+		}
+		var densRules []drc.DensityWindow
+		if r.Density && len(r.DensityLayers) > 0 {
+			want := make(map[tech.Layer]bool, len(r.DensityLayers))
+			for _, l := range r.DensityLayers {
+				want[l] = true
+			}
+			// Deck order filtered to the enabled set reproduces the
+			// submitter's chip-global layer filter.
+			for _, rule := range drc.DensityDeck(&t, r.DensityWindow).Rules {
+				if dw := rule.(drc.DensityWindow); want[dw.Layer] {
+					densRules = append(densRules, dw)
+				}
+			}
+		}
+		core := geom.R(0, 0, r.CoreW, r.CoreH)
+		out, err := computeTile(ctx, &t, std, densRules, r.Shapes, core, core.Bloat(r.Pad), r.Windows)
+		if err != nil {
+			return nil, err
+		}
+		return &TileResult{Violations: out.viol, Dens: out.dens}, nil
+	}
+
+	// Stage "window": one litho scan window, mirroring Evaluate's
+	// miss path with the window at the origin.
+	minW, minS := r.MinWidth, r.MinSpace
+	if minW == 0 || minS == 0 {
+		dw, ds := litho.ScanDefaults(&t, r.Layer)
+		if minW == 0 {
+			minW = dw
+		}
+		if minS == 0 {
+			minS = ds
+		}
+	}
+	win := geom.R(0, 0, r.WinW, r.WinH)
+	img, err := litho.SimulateCtx(ctx, r.Rects, win.Bloat(litho.ScanPadNM), t.Optics, r.Cond)
+	if err != nil {
+		return nil, err
+	}
+	var kept []litho.Hotspot
+	for _, h := range img.FindHotspots(minW, minS) {
+		if litho.ScanKeeps(win, h) {
+			kept = append(kept, h)
+		}
+	}
+	return &TileResult{Hotspots: kept}, nil
+}
+
+// tileWireRequest builds the stage-A work unit for one tile, geometry
+// re-based to the core origin.
+func tileWireRequest(t *tech.Tech, o Opts, densLayers []tech.Layer, core geom.Rect, pad int64, absWins []geom.Rect, shapes []layout.Shape) *TileRequest {
+	d := geom.Pt(-core.X0, -core.Y0)
+	wins := make([]geom.Rect, len(absWins))
+	for i, w := range absWins {
+		wins[i] = w.Translate(d)
+	}
+	rel := make([]layout.Shape, len(shapes))
+	for i, s := range shapes {
+		s.R = s.R.Translate(d)
+		rel[i] = s
+	}
+	return &TileRequest{
+		Schema: TileSchema, Stage: StageTile,
+		Tech: *t, DRC: o.DRC, Density: o.Density, DensityWindow: o.DensityWindow,
+		DensityLayers: densLayers, Cond: o.HotspotCond,
+		MinWidth: o.MinWidth, MinSpace: o.MinSpace,
+		CoreW: core.Width(), CoreH: core.Height(), Pad: pad,
+		Windows: wins, Shapes: rel,
+	}
+}
+
+// windowWireRequest builds the stage-B work unit for one scan window,
+// rects re-based to the window origin.
+func windowWireRequest(t *tech.Tech, o Opts, densLayers []tech.Layer, layer tech.Layer, win geom.Rect, extPad int64, rs []geom.Rect) *TileRequest {
+	d := geom.Pt(-win.X0, -win.Y0)
+	rel := make([]geom.Rect, len(rs))
+	for i, r := range rs {
+		rel[i] = r.Translate(d)
+	}
+	return &TileRequest{
+		Schema: TileSchema, Stage: StageWindow,
+		Tech: *t, DRC: o.DRC, Density: o.Density, DensityWindow: o.DensityWindow,
+		DensityLayers: densLayers, Cond: o.HotspotCond,
+		MinWidth: o.MinWidth, MinSpace: o.MinSpace,
+		Layer: layer, WinW: win.Width(), WinH: win.Height(), Pad: extPad,
+		Rects: rel,
+	}
+}
+
+// absorbTileResult validates a stage-A wire result against the tile's
+// expected shape and translates it back into the chip frame. The shape
+// checks matter: a result from a confused or version-skewed node must
+// fail the run loudly, never stitch silently.
+func absorbTileResult(tr *TileResult, core geom.Rect, nDens, nWins int) (tileOut, error) {
+	if tr == nil {
+		return tileOut{}, errors.New("tiling: tile job settled without a result")
+	}
+	if len(tr.Dens) != nDens {
+		return tileOut{}, fmt.Errorf("tiling: tile result carries %d density rows, want %d", len(tr.Dens), nDens)
+	}
+	for _, row := range tr.Dens {
+		if len(row) != nWins {
+			return tileOut{}, fmt.Errorf("tiling: tile result density row has %d windows, want %d", len(row), nWins)
+		}
+	}
+	return replayTile(&payload{viol: tr.Violations, dens: tr.Dens}, core), nil
+}
+
+// absorbWindowResult translates a stage-B wire result back into the
+// chip frame.
+func absorbWindowResult(tr *TileResult, win geom.Rect) ([]litho.Hotspot, error) {
+	if tr == nil {
+		return nil, errors.New("tiling: window job settled without a result")
+	}
+	if len(tr.Hotspots) == 0 {
+		return nil, nil
+	}
+	hs := make([]litho.Hotspot, len(tr.Hotspots))
+	d := geom.Pt(win.X0, win.Y0)
+	for i, h := range tr.Hotspots {
+		h.Box = h.Box.Translate(d)
+		hs[i] = h
+	}
+	return hs, nil
+}

@@ -1,0 +1,340 @@
+// Package wirecompat pins the HTTP contract shared by a single dfmd
+// node and a dfmrouter fleet front. The router's whole pitch is that
+// clients cannot tell it from one big dfmd — so every check here runs
+// twice, once against each, and any divergence in status codes, error
+// bodies, Retry-After signaling, or job-ID pollability is a bug in
+// whichever side drifted.
+package wirecompat
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dfm"
+	"repro/internal/geom"
+	"repro/internal/harness"
+	"repro/internal/layout"
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/tech"
+	"repro/internal/tiling"
+)
+
+// blockSeed marks "plug" jobs whose task blocks until the deployment's
+// gate closes — the deterministic way to occupy the single worker and
+// fill the queue so the next submit must shed.
+const blockSeed = 4242
+
+// deployment is one system under test: a bare dfmd or a dfmd fleet
+// behind a router, plus the handles the suite needs to drive it into
+// deterministic states.
+type deployment struct {
+	name string
+	url  string
+	// stats reads the backing dfmd's counters (the single node in both
+	// shapes), for occupancy waits.
+	stats func() server.Stats
+	gate  chan struct{}
+}
+
+// contractConfig is the dfmd config both deployments run: one worker,
+// one queue slot, immediate shed — small enough to overload with two
+// plug jobs. Tasks for blockSeed park on the gate; everything else
+// settles instantly (eval) or computes for real (tile).
+func contractConfig(gate chan struct{}) server.Config {
+	cfg := server.Config{Workers: 1, Queue: 1, MaxWait: 0}
+	cfg.TaskFactory = func(req server.JobRequest, tt *tech.Tech, base layout.BlockOpts) (harness.Task, error) {
+		if req.Kind == server.KindTile {
+			tr := req.Tile
+			return harness.Task{Name: "tile/" + tr.Stage, Run: func(ctx context.Context, attempt int) (any, error) {
+				return tiling.ExecuteTile(ctx, tr)
+			}}, nil
+		}
+		if _, err := dfm.TechniqueTask(tt, req.Technique, req.Seed, base); err != nil {
+			return harness.Task{}, err
+		}
+		return harness.Task{Name: req.Technique, Run: func(ctx context.Context, attempt int) (any, error) {
+			if req.Seed >= blockSeed {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			o := dfm.Outcome{
+				Technique: req.Technique,
+				Metrics: []dfm.Metric{{
+					Name: "m", Before: 1, After: 2, Unit: "x",
+					HigherIsBetter: true, Primary: true,
+				}},
+			}
+			o.Judge(dfm.DefaultHitGain, dfm.DefaultCostCap)
+			return o, nil
+		}}, nil
+	}
+	return cfg
+}
+
+func startDfmd(t *testing.T) *deployment {
+	t.Helper()
+	gate := make(chan struct{})
+	s := server.New(contractConfig(gate))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		close(gate)
+		ts.Close()
+		s.Shutdown(context.Background())
+	})
+	return &deployment{name: "dfmd", url: ts.URL, stats: s.Stats, gate: gate}
+}
+
+func startRouter(t *testing.T) *deployment {
+	t.Helper()
+	gate := make(chan struct{})
+	s := server.New(contractConfig(gate))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // closed in cleanup
+	// MaxAttempts 1: the contract under test is the passthrough shape,
+	// not the retry machinery — a shed from the node must surface as
+	// the router's own 429, immediately.
+	r, err := router.New(router.Config{
+		Backends: []string{"http://" + ln.Addr().String()}, Policy: "round-robin",
+		CheckInterval: time.Hour, MaxAttempts: 1,
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(r.Handler())
+	t.Cleanup(func() {
+		close(gate)
+		front.Close()
+		r.Shutdown(context.Background())
+		hs.Close()
+		s.Shutdown(context.Background())
+	})
+	return &deployment{name: "router", url: front.URL, stats: s.Stats, gate: gate}
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// tileReq is a small stage-A unit with one guaranteed metal2 spacing
+// violation, the same work both deployments must answer identically.
+func tileReq() *tiling.TileRequest {
+	return &tiling.TileRequest{
+		Schema: tiling.TileSchema, Stage: tiling.StageTile,
+		Tech: *tech.N45(), DRC: true,
+		CoreW: 8000, CoreH: 8000, Pad: 2000,
+		Shapes: []layout.Shape{
+			{Layer: tech.Metal2, R: geom.R(1500, 1500, 1800, 1570)},
+			{Layer: tech.Metal2, R: geom.R(1850, 1500, 2150, 1570)},
+		},
+	}
+}
+
+func TestContract(t *testing.T) {
+	for _, start := range []func(*testing.T) *deployment{startDfmd, startRouter} {
+		d := start(t)
+		t.Run(d.name, func(t *testing.T) { suite(t, d) })
+	}
+}
+
+// suite runs every contract check against one deployment. Order
+// matters only for the final overload check, which plugs the worker.
+func suite(t *testing.T, d *deployment) {
+	t.Run("techniques", func(t *testing.T) {
+		resp, err := http.Get(d.url + "/v1/techniques")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		names := decode[map[string][]string](t, resp)
+		if len(names["techniques"]) != 8 {
+			t.Fatalf("techniques = %v, want the 8-entry registry", names)
+		}
+	})
+
+	t.Run("submit-poll-result", func(t *testing.T) {
+		resp := postJSON(t, d.url+"/v1/jobs?wait=1", server.JobRequest{Technique: "sraf", Seed: 1})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("wait=1 submit status = %d, want 200", resp.StatusCode)
+		}
+		st := decode[server.JobStatus](t, resp)
+		if st.ID == "" || st.State != server.StateDone || st.Result == nil {
+			t.Fatalf("wait=1 submit body: %+v", st)
+		}
+		if st.Kind != "" {
+			t.Fatalf("eval job kind = %q on the wire, want empty (legacy compat)", st.Kind)
+		}
+		// Whatever ID the deployment handed out must be pollable as-is:
+		// bare "j-000001" on dfmd, backend-prefixed "n0.j-000001"
+		// through the router.
+		jr, err := http.Get(d.url + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.StatusCode != http.StatusOK {
+			t.Fatalf("poll of returned ID %q = %d, want 200", st.ID, jr.StatusCode)
+		}
+		pst := decode[server.JobStatus](t, jr)
+		if pst.ID != st.ID {
+			t.Fatalf("poll echoed ID %q, submitted as %q", pst.ID, st.ID)
+		}
+		rr, err := http.Get(d.url + "/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rst := decode[server.JobStatus](t, rr)
+		if rr.StatusCode != http.StatusOK || rst.Result == nil {
+			t.Fatalf("result of %q: status %d body %+v", st.ID, rr.StatusCode, rst)
+		}
+		// Duplicate submit: same key, served from cache.
+		dup := postJSON(t, d.url+"/v1/jobs?wait=1", server.JobRequest{Technique: "sraf", Seed: 1})
+		dst := decode[server.JobStatus](t, dup)
+		if !dst.Cached || dst.Key != st.Key {
+			t.Fatalf("duplicate submit not a cache hit on the same key: %+v vs key %s", dst, st.Key)
+		}
+	})
+
+	t.Run("tile-round-trip", func(t *testing.T) {
+		want, err := tiling.ExecuteTile(context.Background(), tileReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Violations) == 0 {
+			t.Fatal("reference tile produced no violations; check is vacuous")
+		}
+		resp := postJSON(t, d.url+"/v1/jobs?wait=1", server.JobRequest{Kind: server.KindTile, Tile: tileReq()})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tile wait=1 submit status = %d, want 200", resp.StatusCode)
+		}
+		st := decode[server.JobStatus](t, resp)
+		if st.State != server.StateDone || st.Kind != server.KindTile || st.Tile == nil {
+			t.Fatalf("tile submit body: %+v", st)
+		}
+		if !strings.HasPrefix(st.Key, "sha256:") {
+			t.Fatalf("tile key %q not content-addressed", st.Key)
+		}
+		if !reflect.DeepEqual(st.Tile.Violations, want.Violations) {
+			t.Fatalf("wire tile violations diverge from local execution:\n got %+v\nwant %+v",
+				st.Tile.Violations, want.Violations)
+		}
+		dup := postJSON(t, d.url+"/v1/jobs?wait=1", server.JobRequest{Kind: server.KindTile, Tile: tileReq()})
+		dst := decode[server.JobStatus](t, dup)
+		if !dst.Cached || dst.Tile == nil {
+			t.Fatalf("duplicate tile not served from cache: %+v", dst)
+		}
+	})
+
+	t.Run("validation-errors", func(t *testing.T) {
+		resp := postJSON(t, d.url+"/v1/jobs", server.JobRequest{Technique: "no-such"})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("unknown technique status = %d, want 400", resp.StatusCode)
+		}
+		if body := decode[server.ErrorBody](t, resp); body.Error == "" {
+			t.Fatal("400 body carries no error message")
+		}
+		resp = postJSON(t, d.url+"/v1/jobs", server.JobRequest{Kind: "banana", Technique: "sraf"})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("unknown kind status = %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+		resp = postJSON(t, d.url+"/v1/jobs", server.JobRequest{Kind: server.KindTile})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("tile job without payload status = %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+		jr, err := http.Get(d.url + "/v1/jobs/n9.j-999999")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job status = %d, want 404", jr.StatusCode)
+		}
+		if body := decode[server.ErrorBody](t, jr); body.Error == "" {
+			t.Fatal("404 body carries no error message")
+		}
+	})
+
+	// Last: plug the worker and the queue, then verify the shed shape.
+	// Both deployments must answer 429 with a Retry-After header that
+	// agrees with the JSON hint: header == max(1s, floor(ms/1000)).
+	t.Run("overload-shape", func(t *testing.T) {
+		postJSON(t, d.url+"/v1/jobs", server.JobRequest{Technique: "sraf", Seed: blockSeed}).Body.Close()
+		waitFor(t, "plug job in flight", func() bool { return d.stats().InFlight == 1 })
+		postJSON(t, d.url+"/v1/jobs", server.JobRequest{Technique: "sraf", Seed: blockSeed + 1}).Body.Close()
+		waitFor(t, "filler job queued", func() bool { return d.stats().QueueDepth == 1 })
+
+		resp := postJSON(t, d.url+"/v1/jobs", server.JobRequest{Technique: "sraf", Seed: 2})
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("full-queue submit status = %d, want 429", resp.StatusCode)
+		}
+		ra := resp.Header.Get("Retry-After")
+		secs, err := strconv.ParseInt(ra, 10, 64)
+		if err != nil || secs < 1 {
+			t.Fatalf("Retry-After = %q, want integer seconds >= 1", ra)
+		}
+		body := decode[server.ErrorBody](t, resp)
+		if body.Error == "" {
+			t.Fatal("429 body carries no error message")
+		}
+		if body.RetryAfterMS < 0 {
+			t.Fatalf("429 body hint = %dms, want >= 0", body.RetryAfterMS)
+		}
+		want := body.RetryAfterMS / 1000
+		if want < 1 {
+			want = 1
+		}
+		if secs != want {
+			t.Fatalf("Retry-After header %ds disagrees with JSON hint %dms (want %ds)",
+				secs, body.RetryAfterMS, want)
+		}
+	})
+}

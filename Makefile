@@ -48,8 +48,17 @@ CHIPBENCH_OUT ?= BENCH_PR7.json
 # recomputed).
 FLEETBENCH_OUT ?= BENCH_PR8.json
 FLEETBENCH_FLAGS ?= -cluster 3 -chip -chiprects 150000 -seed 11 -kill 1s -restart 3s -retries 3
+# Surrogate fast-path benchmark (PR9's record): the uncertainty-gated
+# ML pre-filter on the full-chip hotspot scan vs the exact-only scan
+# of the same ~1M-rect chip, plus the training microbenchmark. The
+# headline numbers are BenchmarkSurrogateSpeedupCenti (>= 500 — the
+# gated scan must be at least 5x faster), the calibration gauges
+# (SkipRatePermil, MAPEMilli, PearsonMilli, Precision/RecallPermil on
+# the holdout), and BenchmarkSurrogateDefectRecallPermil (must be
+# 1000: the benchmark b.Fatals if any injected defect is lost).
+SURROGATEBENCH_OUT ?= BENCH_PR9.json
 
-.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check servebench clusterbench chipbench fleetbench
+.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check servebench clusterbench chipbench fleetbench surrogatebench
 
 tier1: ## build + vet + gofmt gate + full tests under the race detector
 	$(GO) build ./...
@@ -85,6 +94,11 @@ bench: ## run the tier-1 benchmark set and record $(BENCH_OUT)
 chipbench: ## full-chip streaming benches (tiled / warm / flat) -> $(CHIPBENCH_OUT)
 	$(GO) test -run='^$$' -bench='^BenchmarkChip' -benchmem . | $(GO) run ./cmd/benchjson -o $(CHIPBENCH_OUT)
 	$(GO) run ./cmd/benchjson -check $(CHIPBENCH_OUT)
+
+surrogatebench: ## surrogate-gated vs exact-only chip scan -> $(SURROGATEBENCH_OUT)
+	$(GO) test -run='^$$' -bench='^BenchmarkSurrogate' -benchtime=1x -benchmem -timeout 90m . \
+		| $(GO) run ./cmd/benchjson -o $(SURROGATEBENCH_OUT)
+	$(GO) run ./cmd/benchjson -check $(SURROGATEBENCH_OUT)
 
 fleetbench: ## distributed full-chip chaos benchmark -> $(FLEETBENCH_OUT)
 	$(GO) build -o bin/dfmload ./cmd/dfmload

@@ -55,6 +55,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/layout"
 	"repro/internal/obs"
+	"repro/internal/surrogate"
 	"repro/internal/tech"
 	"repro/internal/tiling"
 )
@@ -76,6 +77,9 @@ func main() {
 	chipCache := flag.Int("chipcache", 8192, "chip mode: result cache entries (0 disables reuse)")
 	chipFlat := flag.Bool("chipflat", false, "chip mode: also run the flat baseline and verify an exact match")
 	chipHot := flag.Bool("chiphotspots", false, "chip mode: include the metal1 litho hotspot scan")
+	chipHotDef := flag.Int("chiphotdefects", 0, "chip mode: injected litho defect structures (pinch necks + bridge pad pairs)")
+	chipInterior := flag.Bool("chipinterior", false, "chip mode: keep only interior (true-neck) pinch hotspots, dropping line-end pull-back markers")
+	chipSurr := flag.Bool("chipsurrogate", false, "chip mode: gate the hotspot scan with the uncertainty-gated ML surrogate (implies -chipinterior)")
 	chipDens := flag.Bool("chipdensity", true, "chip mode: include the density-window deck (its violation list dominates memory on sparse floorplans)")
 	cluster := flag.Int("cluster", 0, "chip mode: fan tiles across N in-process dfmd backends behind a dfmrouter")
 	policy := flag.String("policy", "affinity", "chip cluster mode: routing policy (affinity, least-loaded, round-robin)")
@@ -95,7 +99,8 @@ func main() {
 		if err := runChip(ctx, t, chipConfig{
 			seed: *seed, rects: *chipRects, slots: *chipSlots, defects: *chipDefects,
 			tile: *tile, halo: *halo, cache: *chipCache, flat: *chipFlat,
-			hotspots: *chipHot, density: *chipDens, workers: *parallel, asJSON: *asJSON,
+			hotspots: *chipHot, hotDefects: *chipHotDef, interior: *chipInterior,
+			surrogate: *chipSurr, density: *chipDens, workers: *parallel, asJSON: *asJSON,
 			cluster: *cluster, policy: *policy,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "dfmscore:", err)
@@ -164,12 +169,15 @@ type chipConfig struct {
 	cache   int
 	flat    bool
 
-	hotspots bool
-	density  bool
-	workers  int
-	asJSON   bool
-	cluster  int
-	policy   string
+	hotspots   bool
+	hotDefects int
+	interior   bool
+	surrogate  bool
+	density    bool
+	workers    int
+	asJSON     bool
+	cluster    int
+	policy     string
 }
 
 // runChip executes the full-chip streaming experiment and prints its
@@ -184,13 +192,21 @@ func runChip(ctx context.Context, t *tech.Tech, cfg chipConfig) error {
 	if cfg.hotspots {
 		topts.Hotspots = []tech.Layer{tech.Metal1}
 	}
+	topts.HotspotInterior = cfg.interior
+	if cfg.surrogate {
+		// The gate only pays off once line-end pull-back markers are
+		// filtered — with them, every macro window is dirty and nothing
+		// can be skipped — so the surrogate implies the interior filter.
+		topts.HotspotInterior = true
+		topts.Surrogate = &surrogate.Config{Seed: cfg.seed}
+	}
 	if cfg.cache > 0 {
 		topts.Cache = tiling.NewCache(cfg.cache)
 	}
 	o := dfm.ChipEvalOpts{
 		Chip: layout.ChipOpts{
 			Seed: cfg.seed, Slots: cfg.slots, TargetRects: cfg.rects,
-			Defects: cfg.defects,
+			Defects: cfg.defects, HotspotDefects: cfg.hotDefects,
 		},
 		Tiling:      topts,
 		CompareFlat: cfg.flat,
@@ -251,6 +267,15 @@ func runChip(ctx context.Context, t *tech.Tech, cfg chipConfig) error {
 		}
 		fmt.Printf("  results:   %d violations (%d dropped), %d hotspots\n",
 			rep.Violations, res.Dropped, rep.Hotspots)
+		for layer, sr := range rep.Surrogate {
+			fmt.Printf("  surrogate: %s skipped %d/%d windows (%.0f%%, %d guarded, %d exact); holdout MAPE %.3f r %.3f P %.2f R %.2f\n",
+				layer, sr.Skipped, sr.NonEmpty, 100*sr.SkipRate, sr.Guarded, sr.Exact,
+				sr.MAPE, sr.Pearson, sr.Precision, sr.Recall)
+		}
+		if rep.DefectSites > 0 {
+			fmt.Printf("  defects:   %d/%d injected litho defects found (recall %.2f)\n",
+				rep.DefectsFound, rep.DefectSites, rep.DefectRecall)
+		}
 		fmt.Printf("  peak heap: %.1f MB tiled", float64(rep.PeakHeapTiled)/(1<<20))
 		if cfg.flat {
 			fmt.Printf(", %.1f MB flat (%.1fx); flat run %v",

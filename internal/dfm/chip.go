@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/layout"
+	"repro/internal/surrogate"
 	"repro/internal/tech"
 	"repro/internal/tiling"
 )
@@ -43,6 +44,17 @@ type ChipEvalReport struct {
 	// memory only while the caller holds the Result.
 	Violations int `json:"violations"`
 	Hotspots   int `json:"hotspots"`
+
+	// Surrogate holds the per-layer gating calibration reports
+	// (layer-name keyed) when the surrogate fast path ran.
+	Surrogate map[string]*surrogate.Report `json:"surrogate,omitempty"`
+	// DefectSites/DefectsFound/DefectRecall measure the scan against
+	// the generator's injected litho defects: a site counts as found
+	// when any reported hotspot on its layer overlaps its box. Recall
+	// is 1 when no sites were injected.
+	DefectSites  int     `json:"defect_sites,omitempty"`
+	DefectsFound int     `json:"defects_found,omitempty"`
+	DefectRecall float64 `json:"defect_recall"`
 
 	GenElapsed  time.Duration `json:"gen_elapsed_ns"`
 	Elapsed     time.Duration `json:"elapsed_ns"`
@@ -91,6 +103,26 @@ func heapPeak(fn func() error) (uint64, error) {
 	return <-done, err
 }
 
+// defectRecall checks every injected litho defect site against the
+// scan output: found means some hotspot on the site's layer overlaps
+// its box. This is the safety measurement for the surrogate fast
+// path — a gated scan must never lose an injected defect.
+func defectRecall(info layout.ChipInfo, res *tiling.Result) (sites, found int, recall float64) {
+	sites = len(info.HotspotSites)
+	if sites == 0 {
+		return 0, 0, 1
+	}
+	for _, site := range info.HotspotSites {
+		for _, h := range res.Hotspots[site.Layer] {
+			if h.Box.Overlaps(site.Box) {
+				found++
+				break
+			}
+		}
+	}
+	return sites, found, float64(found) / float64(sites)
+}
+
 // EvalChipTiling generates the floorplan and evaluates it tile-by-tile
 // through tiling.Evaluate, measuring throughput and peak heap. With
 // CompareFlat it then re-evaluates via the flat baseline and verifies
@@ -127,6 +159,13 @@ func EvalChipTiling(ctx context.Context, t *tech.Tech, o ChipEvalOpts) (*ChipEva
 	if s := res.Stats.Elapsed.Seconds(); s > 0 {
 		rep.TilesPerSec = float64(res.Stats.Tiles) / s
 	}
+	if len(res.Surrogate) > 0 {
+		rep.Surrogate = make(map[string]*surrogate.Report, len(res.Surrogate))
+		for l, sr := range res.Surrogate {
+			rep.Surrogate[l.String()] = sr
+		}
+	}
+	rep.DefectSites, rep.DefectsFound, rep.DefectRecall = defectRecall(info, res)
 
 	if o.CompareFlat {
 		var flat *tiling.Result

@@ -46,6 +46,12 @@ type ChipOpts struct {
 	// defects (one per slot, in the slot margin band): deterministic,
 	// compact, guaranteed-findable violations for differential tests.
 	Defects int
+	// HotspotDefects injects up to this many seeded metal1 litho
+	// defect structures (alternating drawn necks and near-bridging
+	// pad pairs, one per slot in the margin band): deterministic
+	// printability failures the hotspot scan must find, recorded in
+	// ChipInfo.HotspotSites so surrogate-gated scans can prove recall.
+	HotspotDefects int
 	// MacroMix weights the four macro kinds {sram, logicA, logicB,
 	// viafarm}; nil means {5, 2, 2, 1}.
 	MacroMix []int
@@ -58,12 +64,21 @@ func DefaultChipOpts() ChipOpts {
 
 // ChipInfo reports what GenerateChip built.
 type ChipInfo struct {
-	Slots       int
-	SlotPitch   int64
-	Die         geom.Rect
-	Rects       int64 // flattened rect count (not materialized)
-	MacroCounts map[string]int
-	DefectBoxes []geom.Rect // gap box of each injected spacing defect
+	Slots        int
+	SlotPitch    int64
+	Die          geom.Rect
+	Rects        int64 // flattened rect count (not materialized)
+	MacroCounts  map[string]int
+	DefectBoxes  []geom.Rect   // gap box of each injected spacing defect
+	HotspotSites []HotspotSite // injected litho defect structures
+}
+
+// HotspotSite is one injected litho defect structure: the scan of
+// Layer must report at least one hotspot overlapping Box.
+type HotspotSite struct {
+	Layer tech.Layer
+	Kind  string // "pinch" or "bridge"
+	Box   geom.Rect
 }
 
 // chipMacroDef is one library entry of the floorplan generator.
@@ -198,6 +213,42 @@ func GenerateChip(t *tech.Tech, opts ChipOpts) (*Layout, ChipInfo, error) {
 			top.Add(tech.Metal2, geom.R(x, y, x+300, y+70))
 			top.Add(tech.Metal2, geom.R(x+300+gap, y, x+600+gap, y+70))
 			info.DefectBoxes = append(info.DefectBoxes, geom.R(x+300, y, x+300+gap, y+70))
+		}
+	}
+
+	// Litho defect injection: metal1 structures in the margin band that
+	// print as hotspots under the nominal scan. Even slots get a drawn
+	// neck (a 90nm wire necking to 30nm — prints as an interior pinch),
+	// odd ones a pad pair at a 50nm gap (prints as a bridge). The slot
+	// permutation is drawn after the spacing-defect one, so chips with
+	// HotspotDefects == 0 are bit-identical to earlier seeds.
+	nHot := opts.HotspotDefects
+	if nHot > slots*slots {
+		nHot = slots * slots
+	}
+	if nHot > 0 {
+		for k, si := range rnd.Perm(slots * slots)[:nHot] {
+			sx, sy := int64(si%slots), int64(si/slots)
+			x := sx*opts.SlotPitch + 3000
+			if k%2 == 0 {
+				// Neck: 1000nm from the seal ring, ~900nm below the
+				// worst-case macro edge — optically isolated both ways.
+				y := sy*opts.SlotPitch + 1000
+				top.Add(tech.Metal1, geom.R(x, y, x+1000, y+90))
+				top.Add(tech.Metal1, geom.R(x+1000, y+30, x+1200, y+60))
+				top.Add(tech.Metal1, geom.R(x+1200, y, x+2200, y+90))
+				info.HotspotSites = append(info.HotspotSites,
+					HotspotSite{Layer: tech.Metal1, Kind: "pinch", Box: geom.R(x, y, x+2200, y+90)})
+			} else {
+				// Pad pair: tall enough to print the 50nm gap as a
+				// bridge, short enough to keep legal clearance to the
+				// ring below and the macro keep-out above.
+				y := sy*opts.SlotPitch + 400
+				top.Add(tech.Metal1, geom.R(x, y, x+2000, y+700))
+				top.Add(tech.Metal1, geom.R(x, y+750, x+2000, y+1450))
+				info.HotspotSites = append(info.HotspotSites,
+					HotspotSite{Layer: tech.Metal1, Kind: "bridge", Box: geom.R(x, y, x+2000, y+1450)})
+			}
 		}
 	}
 

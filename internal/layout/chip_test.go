@@ -218,6 +218,121 @@ func TestFlattenDeepNetRemapUniqueness(t *testing.T) {
 	}
 }
 
+// Litho defect injection: sites are recorded, deterministic, inside
+// the die margin band, and strictly additive — a chip generated with
+// HotspotDefects must be the zero-defect chip plus exactly the
+// injected metal1 rects, and the spacing-defect placement must not
+// shift (the site permutation is drawn after the spacing one).
+func TestGenerateChipHotspotDefects(t *testing.T) {
+	tt := tech.N45()
+	base := ChipOpts{Seed: 11, Slots: 3, Defects: 4}
+	hot := base
+	hot.HotspotDefects = 3
+
+	l0, i0, err := GenerateChip(tt, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, i1, err := GenerateChip(tt, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(i0.HotspotSites) != 0 {
+		t.Fatalf("zero-defect chip recorded sites: %v", i0.HotspotSites)
+	}
+	if len(i1.HotspotSites) != 3 {
+		t.Fatalf("recorded %d sites, want 3", len(i1.HotspotSites))
+	}
+	// Sites alternate neck/pad-pair and stay on metal1 inside the die.
+	for k, s := range i1.HotspotSites {
+		want := "pinch"
+		if k%2 == 1 {
+			want = "bridge"
+		}
+		if s.Kind != want || s.Layer != tech.Metal1 {
+			t.Fatalf("site %d = %+v, want %s on metal1", k, s, want)
+		}
+		if !i1.Die.ContainsRect(s.Box) {
+			t.Fatalf("site %d box %v outside die %v", k, s.Box, i1.Die)
+		}
+	}
+	// Spacing defects must not move: the hotspot permutation is drawn
+	// after the spacing-defect one.
+	if len(i1.DefectBoxes) != len(i0.DefectBoxes) {
+		t.Fatalf("spacing defects changed: %d vs %d", len(i1.DefectBoxes), len(i0.DefectBoxes))
+	}
+	for i := range i0.DefectBoxes {
+		if i0.DefectBoxes[i] != i1.DefectBoxes[i] {
+			t.Fatalf("spacing defect %d moved: %v vs %v", i, i0.DefectBoxes[i], i1.DefectBoxes[i])
+		}
+	}
+	// Strictly additive: flat(hot) = flat(base) + injected metal1 rects,
+	// and every added rect lies inside a recorded site box.
+	count := func(flat []Shape) map[Shape]int {
+		m := make(map[Shape]int)
+		for _, s := range flat {
+			s.Net = 0
+			m[s]++
+		}
+		return m
+	}
+	f0 := count(l0.Flatten())
+	f1 := count(l1.Flatten())
+	added := 0
+	for s, n := range f1 {
+		extra := n - f0[s]
+		if extra < 0 {
+			t.Fatalf("injection removed shape %+v", s)
+		}
+		if extra == 0 {
+			continue
+		}
+		added += extra
+		if s.Layer != tech.Metal1 {
+			t.Fatalf("injected shape on %v: %+v", s.Layer, s)
+		}
+		inSite := false
+		for _, site := range i1.HotspotSites {
+			if site.Box.ContainsRect(s.R) {
+				inSite = true
+				break
+			}
+		}
+		if !inSite {
+			t.Fatalf("injected rect %v outside every recorded site", s.R)
+		}
+	}
+	// 2 necks x 3 rects + 1 pad pair x 2 rects.
+	if added != 8 {
+		t.Fatalf("injected %d rects, want 8", added)
+	}
+	if i1.Rects != i0.Rects+8 {
+		t.Fatalf("info.Rects = %d, want base %d + 8", i1.Rects, i0.Rects)
+	}
+
+	// Deterministic: same seed, same sites.
+	_, i2, err := GenerateChip(tt, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range i1.HotspotSites {
+		if i1.HotspotSites[i] != i2.HotspotSites[i] {
+			t.Fatalf("same seed, site %d differs: %+v vs %+v", i, i1.HotspotSites[i], i2.HotspotSites[i])
+		}
+	}
+
+	// Requests beyond the slot grid clamp.
+	over := base
+	over.HotspotDefects = 100
+	_, io, err := GenerateChip(tt, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(io.HotspotSites) != 9 {
+		t.Fatalf("clamped sites = %d, want slots^2 = 9", len(io.HotspotSites))
+	}
+}
+
 func BenchmarkFlatten(b *testing.B) {
 	l, info, err := GenerateChip(tech.N45(), ChipOpts{Seed: 2, Slots: 4})
 	if err != nil {

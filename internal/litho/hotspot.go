@@ -129,6 +129,113 @@ func ScanKeeps(win geom.Rect, h Hotspot) bool {
 	return h.Box.Overlaps(win) || win.ContainsRect(h.Box)
 }
 
+// ScanOpts bundles the hotspot-scan parameters shared by the layer
+// and single-window entry points. MinWidth/MinSpace zero default to
+// ScanDefaults; Cond passes through as given (its zero value is the
+// nominal corner).
+type ScanOpts struct {
+	Cond     Condition
+	MinWidth int64
+	MinSpace int64
+	// Interior drops pinch markers that sit at drawn line ends
+	// (normal lithographic pull-back) and keeps only those with drawn
+	// metal continuing on both sides — the markers that indicate a
+	// real necking failure. Bridges are never dropped.
+	Interior bool
+}
+
+// resolve fills threshold defaults for a layer.
+func (o ScanOpts) resolve(t *tech.Tech, layer tech.Layer) ScanOpts {
+	if o.MinWidth == 0 || o.MinSpace == 0 {
+		dw, ds := ScanDefaults(t, layer)
+		if o.MinWidth == 0 {
+			o.MinWidth = dw
+		}
+		if o.MinSpace == 0 {
+			o.MinSpace = ds
+		}
+	}
+	return o
+}
+
+// InteriorDefect reports whether a hotspot marks a failure in the
+// interior of drawn geometry. Bridges always do. A pinch marker
+// qualifies only when the drawn layer covers probe points one probe
+// distance beyond each marker edge along its minor axis — i.e. the
+// wire continues past the marker in both directions, so the
+// narrowing is a true neck rather than the expected pull-back at a
+// line end. The marker's minor axis is the wire direction: opening
+// leaves thin slivers across the neck, so a pinch on a vertical wire
+// yields a wider-than-tall marker.
+func InteriorDefect(h Hotspot, drawn []geom.Rect, probe int64) bool {
+	if h.Kind == Bridge {
+		return true
+	}
+	cx := (h.Box.X0 + h.Box.X1) / 2
+	cy := (h.Box.Y0 + h.Box.Y1) / 2
+	var pa, pb geom.Point
+	if h.Box.Width() >= h.Box.Height() {
+		pa, pb = geom.Pt(cx, h.Box.Y0-probe), geom.Pt(cx, h.Box.Y1+probe)
+	} else {
+		pa, pb = geom.Pt(h.Box.X0-probe, cy), geom.Pt(h.Box.X1+probe, cy)
+	}
+	return covered(drawn, pa) && covered(drawn, pb)
+}
+
+func covered(rects []geom.Rect, p geom.Point) bool {
+	for _, r := range rects {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanWindowCtx simulates one scan window (with the standard seam
+// pad) and returns the hotspots attributed to it by ScanKeeps, in
+// FindHotspots order. Callers stitching multiple windows dedupe
+// identical boxes across seams themselves. rs must hold every shape
+// reaching the padded window.
+func ScanWindowCtx(ctx context.Context, rs []geom.Rect, win geom.Rect, t *tech.Tech, layer tech.Layer, o ScanOpts) ([]Hotspot, error) {
+	o = o.resolve(t, layer)
+	sp := hScanNS.Start()
+	defer sp.End()
+	cScanWindows.Inc()
+	img, err := SimulateCtx(ctx, rs, win.Bloat(ScanPadNM), t.Optics, o.Cond)
+	if err != nil {
+		return nil, err
+	}
+	var out []Hotspot
+	for _, h := range img.FindHotspots(o.MinWidth, o.MinSpace) {
+		if !ScanKeeps(win, h) {
+			continue
+		}
+		if o.Interior && !InteriorDefect(h, rs, o.MinWidth) {
+			cScanInterior.Inc()
+			continue
+		}
+		out = append(out, h)
+	}
+	cScanFound.Add(int64(len(out)))
+	return out, nil
+}
+
+// SortHotspots orders hotspots canonically: by Y0, then X0, then
+// kind — the order every scan entry point and the tiled engine
+// return.
+func SortHotspots(out []Hotspot) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Box.Y0 != b.Box.Y0 {
+			return a.Box.Y0 < b.Box.Y0
+		}
+		if a.Box.X0 != b.Box.X0 {
+			return a.Box.X0 < b.Box.X0
+		}
+		return a.Kind < b.Kind
+	})
+}
+
 // ScanLayer simulates a full layer in tiles and returns all hotspots.
 // Tiling bounds memory on large blocks; the simulation pad makes tile
 // seams invisible. minWidth/minSpace default to 60% of the layer's
@@ -142,28 +249,23 @@ func ScanLayer(rs []geom.Rect, t *tech.Tech, layer tech.Layer, cond Condition, m
 // (and per blur pass inside each tile's simulation); on cancellation
 // it returns the hotspots found so far alongside the context error.
 func ScanLayerCtx(ctx context.Context, rs []geom.Rect, t *tech.Tech, layer tech.Layer, cond Condition, minWidth, minSpace int64) ([]Hotspot, error) {
-	if minWidth == 0 || minSpace == 0 {
-		dw, ds := ScanDefaults(t, layer)
-		if minWidth == 0 {
-			minWidth = dw
-		}
-		if minSpace == 0 {
-			minSpace = ds
-		}
-	}
+	return ScanLayerOpts(ctx, rs, t, layer, ScanOpts{Cond: cond, MinWidth: minWidth, MinSpace: minSpace})
+}
+
+// ScanLayerOpts is ScanLayerCtx with the full option set, including
+// the interior-defect filter.
+func ScanLayerOpts(ctx context.Context, rs []geom.Rect, t *tech.Tech, layer tech.Layer, o ScanOpts) ([]Hotspot, error) {
+	o = o.resolve(t, layer)
 	var out []Hotspot
 	seen := make(map[geom.Rect]bool)
 	for _, win := range ScanGrid(geom.BBoxOf(rs)) {
-		// Give the window a margin so hotspots at seams are detected
-		// whole; dedupe below handles the overlap.
-		img, err := SimulateCtx(ctx, rs, win.Bloat(ScanPadNM), t.Optics, cond)
+		// The window pad makes seam hotspots visible whole from both
+		// sides; the seen-set dedupes the double attribution.
+		hs, err := ScanWindowCtx(ctx, rs, win, t, layer, o)
 		if err != nil {
 			return out, err
 		}
-		for _, h := range img.FindHotspots(minWidth, minSpace) {
-			if !ScanKeeps(win, h) {
-				continue
-			}
+		for _, h := range hs {
 			if seen[h.Box] {
 				continue
 			}
@@ -171,16 +273,7 @@ func ScanLayerCtx(ctx context.Context, rs []geom.Rect, t *tech.Tech, layer tech.
 			out = append(out, h)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Box.Y0 != b.Box.Y0 {
-			return a.Box.Y0 < b.Box.Y0
-		}
-		if a.Box.X0 != b.Box.X0 {
-			return a.Box.X0 < b.Box.X0
-		}
-		return a.Kind < b.Kind
-	})
+	SortHotspots(out)
 	return out, nil
 }
 

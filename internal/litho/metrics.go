@@ -40,6 +40,16 @@ var (
 	// Convolution-stack latency (cache misses only; hits cost a map
 	// lookup).
 	hSimulateNS = obs.H("litho.simulate.ns")
+
+	// Hotspot-scan accounting: exact scan windows simulated, hotspots
+	// attributed after seam dedup rules, pinch markers dropped by the
+	// interior-defect filter, and per-window scan latency. Surrogate
+	// gating counters live beside these under
+	// litho.hotspot.surrogate.* (internal/surrogate).
+	cScanWindows  = obs.C("litho.hotspot.windows")
+	cScanFound    = obs.C("litho.hotspot.found")
+	cScanInterior = obs.C("litho.hotspot.interior.dropped")
+	hScanNS       = obs.H("litho.hotspot.scan.ns")
 )
 
 // countPerDefocus records the per-|defocus| split of a cache hit or

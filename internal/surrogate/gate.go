@@ -1,0 +1,130 @@
+package surrogate
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Config controls surrogate training and gating. The zero value is
+// not usable directly; WithDefaults fills unset fields. Config is
+// part of the tile content address (the same model settings must
+// yield the same results fleet-wide), so every field is JSON-tagged
+// and deterministic.
+type Config struct {
+	// Seed drives the training-sample choice. Same seed + same window
+	// set => bit-identical model and gate decisions.
+	Seed int64 `json:"seed"`
+	// SampleFrac is the fraction of non-empty windows simulated
+	// exactly for training+holdout (default 0.05).
+	SampleFrac float64 `json:"sample_frac,omitempty"`
+	// MinSample / MaxSample clamp the sample size (default 48 / 512).
+	MinSample int `json:"min_sample,omitempty"`
+	MaxSample int `json:"max_sample,omitempty"`
+	// HoldoutEvery sends every k-th sampled window to the calibration
+	// holdout instead of the training set (default 3).
+	HoldoutEvery int `json:"holdout_every,omitempty"`
+	// Rounds / LearnRate are the boosting hyperparameters
+	// (default 64 / 0.3).
+	Rounds    int     `json:"rounds,omitempty"`
+	LearnRate float64 `json:"learn_rate,omitempty"`
+	// MaxClean is the hard ceiling on the skip threshold: a window
+	// only skips when its predicted hotspot count is below this
+	// (default 0.25).
+	MaxClean float64 `json:"max_clean,omitempty"`
+	// CleanMargin shrinks the threshold toward the lowest score the
+	// model assigned any dirty training window: TClean =
+	// min(MaxClean, CleanMargin * minDirtyScore) (default 0.5).
+	CleanMargin float64 `json:"clean_margin,omitempty"`
+}
+
+// WithDefaults returns a copy with unset fields at their defaults.
+func (c Config) WithDefaults() Config {
+	if c.SampleFrac <= 0 {
+		c.SampleFrac = 0.05
+	}
+	if c.MinSample <= 0 {
+		c.MinSample = 48
+	}
+	if c.MaxSample <= 0 {
+		c.MaxSample = 512
+	}
+	if c.HoldoutEvery <= 0 {
+		c.HoldoutEvery = 3
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 64
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.3
+	}
+	if c.MaxClean <= 0 {
+		c.MaxClean = 0.25
+	}
+	if c.CleanMargin <= 0 {
+		c.CleanMargin = 0.5
+	}
+	return c
+}
+
+// SampleIndices picks the deterministic training sample from n
+// candidate windows: a seeded permutation prefix, returned sorted
+// ascending so downstream iteration order never depends on the
+// permutation's internal order.
+func SampleIndices(cfg Config, n int) []int {
+	cfg = cfg.WithDefaults()
+	k := int(float64(n)*cfg.SampleFrac + 0.5)
+	if k < cfg.MinSample {
+		k = cfg.MinSample
+	}
+	if k > cfg.MaxSample {
+		k = cfg.MaxSample
+	}
+	if k > n {
+		k = n
+	}
+	idx := rand.New(rand.NewSource(cfg.Seed)).Perm(n)[:k]
+	sort.Ints(idx)
+	return idx
+}
+
+// Gate is a trained skip decision: model plus the calibrated
+// confidently-clean threshold.
+type Gate struct {
+	Model  *Model  `json:"model"`
+	TClean float64 `json:"t_clean"`
+}
+
+// NewGate trains a model on (X, y) — y is the exact hotspot count
+// per window — and derives the skip threshold. The threshold starts
+// at cfg.MaxClean and shrinks toward the lowest score the model gives
+// any dirty training window, so a model that barely separates clean
+// from dirty gets a conservative gate that skips little rather than
+// an unsafe one.
+func NewGate(cfg Config, X []Features, y []float64) *Gate {
+	cfg = cfg.WithDefaults()
+	m := Train(X, y, cfg.Rounds, cfg.LearnRate)
+	t := cfg.MaxClean
+	minDirty := -1.0
+	for i := range X {
+		if y[i] > 0 {
+			s := m.Predict(X[i])
+			if minDirty < 0 || s < minDirty {
+				minDirty = s
+			}
+		}
+	}
+	if minDirty >= 0 && cfg.CleanMargin*minDirty < t {
+		t = cfg.CleanMargin * minDirty
+	}
+	return &Gate{Model: m, TClean: t}
+}
+
+// Skip reports whether a window may bypass exact simulation: never
+// when a deterministic fail-risk guard trips, otherwise only when the
+// model scores it confidently clean.
+func (g *Gate) Skip(f Features) bool {
+	if Guarded(f) {
+		return false
+	}
+	return g.Model.Predict(f) < g.TClean
+}

@@ -1,0 +1,13 @@
+package surrogate
+
+import "repro/internal/obs"
+
+// Gating metrics, under the litho.hotspot.surrogate namespace so
+// they group with the scan metrics they modulate.
+var (
+	CSampled  = obs.C("litho.hotspot.surrogate.sampled")  // windows exactly simulated for training+holdout
+	CTrained  = obs.C("litho.hotspot.surrogate.trained")  // gates trained
+	CSkip     = obs.C("litho.hotspot.surrogate.skip")     // windows skipped as confidently clean
+	CGuard    = obs.C("litho.hotspot.surrogate.guard")    // windows forced exact by fail-risk guards
+	CFallback = obs.C("litho.hotspot.surrogate.fallback") // windows sent to exact by model score
+)

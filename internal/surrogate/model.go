@@ -1,0 +1,125 @@
+package surrogate
+
+import "sort"
+
+// Stump is one depth-1 regression tree: feature < Threshold goes
+// left, otherwise right.
+type Stump struct {
+	Feature   int     `json:"feature"`
+	Threshold float64 `json:"threshold"`
+	Left      float64 `json:"left"`
+	Right     float64 `json:"right"`
+}
+
+// Model is an L2-boosted stump ensemble. Prediction is
+// Base + LearnRate * sum(leaf values). The training procedure is
+// fully deterministic: candidate splits are enumerated in (feature,
+// threshold) order with ties broken toward the first candidate, so
+// the same training set always yields bit-identical weights.
+type Model struct {
+	Base      float64 `json:"base"`
+	LearnRate float64 `json:"learn_rate"`
+	Stumps    []Stump `json:"stumps"`
+}
+
+// Predict scores one feature vector.
+func (m *Model) Predict(f Features) float64 {
+	s := m.Base
+	for _, st := range m.Stumps {
+		if f[st.Feature] < st.Threshold {
+			s += m.LearnRate * st.Left
+		} else {
+			s += m.LearnRate * st.Right
+		}
+	}
+	return s
+}
+
+// Train fits rounds stumps to (X, y) by L2 gradient boosting on
+// residuals. Each round scans every feature's sorted value column
+// with prefix sums, picking the split with the largest SSE reduction;
+// a round with no positive gain stops training early. Empty input
+// yields a constant-zero model.
+func Train(X []Features, y []float64, rounds int, learnRate float64) *Model {
+	m := &Model{LearnRate: learnRate}
+	if len(X) == 0 || len(X) != len(y) {
+		return m
+	}
+	for _, v := range y {
+		m.Base += v
+	}
+	m.Base /= float64(len(y))
+
+	res := make([]float64, len(y))
+	for i := range y {
+		res[i] = y[i] - m.Base
+	}
+
+	// Per-feature sorted column indices, computed once. Sorting is by
+	// (value, sample index) so column order is deterministic even with
+	// duplicate values.
+	cols := make([][]int, FeatureDim)
+	for ft := 0; ft < FeatureDim; ft++ {
+		idx := make([]int, len(X))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			va, vb := X[idx[a]][ft], X[idx[b]][ft]
+			if va != vb {
+				return va < vb
+			}
+			return idx[a] < idx[b]
+		})
+		cols[ft] = idx
+	}
+
+	for r := 0; r < rounds; r++ {
+		var total float64
+		for _, v := range res {
+			total += v
+		}
+		n := float64(len(res))
+
+		best := Stump{Feature: -1}
+		var bestGain float64
+		for ft := 0; ft < FeatureDim; ft++ {
+			idx := cols[ft]
+			var leftSum float64
+			for k := 1; k < len(idx); k++ {
+				leftSum += res[idx[k-1]]
+				lo, hi := X[idx[k-1]][ft], X[idx[k]][ft]
+				if lo == hi {
+					continue // no threshold separates equal values
+				}
+				nl := float64(k)
+				nr := n - nl
+				rightSum := total - leftSum
+				gain := leftSum*leftSum/nl + rightSum*rightSum/nr - total*total/n
+				// Strict > keeps the first candidate on ties: lowest
+				// feature index, then lowest threshold.
+				if gain > bestGain {
+					bestGain = gain
+					best = Stump{
+						Feature:   ft,
+						Threshold: (lo + hi) / 2,
+						Left:      leftSum / nl,
+						Right:     rightSum / nr,
+					}
+				}
+			}
+		}
+		if best.Feature < 0 || bestGain <= 1e-12 {
+			break
+		}
+		m.Stumps = append(m.Stumps, best)
+		for i := range res {
+			if X[i][best.Feature] < best.Threshold {
+				res[i] -= learnRate * best.Left
+			} else {
+				res[i] -= learnRate * best.Right
+			}
+		}
+	}
+	return m
+}

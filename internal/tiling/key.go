@@ -11,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/layout"
 	"repro/internal/litho"
+	"repro/internal/surrogate"
 	"repro/internal/tech"
 )
 
@@ -31,7 +32,11 @@ import (
 // layer empty everywhere is skipped, a tile-locally empty one is
 // not), so without it two chips could alias tiles whose density
 // outputs have different shapes.
-const keySchema = 2
+// Schema 3 added the interior-pinch filter flag and the surrogate
+// gating config: the filter changes which hotspots a window reports,
+// and the surrogate changes which windows of a run are exact at all,
+// so results computed under different gating must never alias.
+const keySchema = 3
 
 // configKey hashes the run-wide parameters shared by every tile key:
 // the full technology (rules derive the DRC deck and scan thresholds)
@@ -42,16 +47,19 @@ func configKey(t *tech.Tech, o Opts, densLayers []tech.Layer) [sha256.Size]byte 
 		densLayers = nil // canonical: empty and absent hash identically
 	}
 	p := struct {
-		Schema  int             `json:"schema"`
-		Tech    tech.Tech       `json:"tech"`
-		DRC     bool            `json:"drc"`
-		Density bool            `json:"density"`
-		DensW   int64           `json:"densW"`
-		DensL   []tech.Layer    `json:"densL"`
-		Cond    litho.Condition `json:"cond"`
-		MinW    int64           `json:"minW"`
-		MinS    int64           `json:"minS"`
-	}{keySchema, *t, o.DRC, o.Density, o.DensityWindow, densLayers, o.HotspotCond, o.MinWidth, o.MinSpace}
+		Schema   int               `json:"schema"`
+		Tech     tech.Tech         `json:"tech"`
+		DRC      bool              `json:"drc"`
+		Density  bool              `json:"density"`
+		DensW    int64             `json:"densW"`
+		DensL    []tech.Layer      `json:"densL"`
+		Cond     litho.Condition   `json:"cond"`
+		MinW     int64             `json:"minW"`
+		MinS     int64             `json:"minS"`
+		Interior bool              `json:"interior"`
+		Surr     *surrogate.Config `json:"surr,omitempty"`
+	}{keySchema, *t, o.DRC, o.Density, o.DensityWindow, densLayers, o.HotspotCond, o.MinWidth, o.MinSpace,
+		o.HotspotInterior, o.Surrogate}
 	b, err := json.Marshal(p)
 	if err != nil {
 		panic("tiling: config key marshal: " + err.Error())

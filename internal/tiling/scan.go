@@ -1,0 +1,245 @@
+package tiling
+
+import (
+	"context"
+
+	"repro/internal/geom"
+	"repro/internal/harness"
+	"repro/internal/litho"
+	"repro/internal/surrogate"
+	"repro/internal/tech"
+)
+
+// Stage-B scan drivers shared by Evaluate, DistEvaluate, and
+// EvaluateFlat. The engines differ only in how a window's rects are
+// produced (hierarchy extraction vs flat filter) and how one window
+// is computed exactly (cache/remote/local dispatch vs direct
+// simulation); both are injected, so the plain and surrogate-gated
+// control flow — window enumeration, sampling, training, gating,
+// stitching order — is one code path and the flat twin stays an exact
+// differential oracle for the gated engine too.
+
+// windowExec computes one scan window exactly and returns the kept
+// hotspots in the chip frame. Implementations handle their own
+// caching and remote dispatch.
+type windowExec func(i int, win geom.Rect, rs []geom.Rect) ([]litho.Hotspot, error)
+
+// scanLayerPlain runs every non-empty window through exec.
+func scanLayerPlain(ctx context.Context, workers int, swins []geom.Rect,
+	getRects func(i int) []geom.Rect, exec windowExec) (perWin [][]litho.Hotspot, nEmpty int, err error) {
+	perWin = make([][]litho.Hotspot, len(swins))
+	empty := make([]bool, len(swins))
+	err = harness.ForEachErr(ctx, workers, len(swins), func(i int) error {
+		cWindows.Inc()
+		rs := getRects(i)
+		if len(rs) == 0 {
+			// Nothing can reach this window's raster: the flat
+			// simulation of it is identically zero.
+			cWindowsEmpty.Inc()
+			empty[i] = true
+			return nil
+		}
+		hs, err := exec(i, swins[i], rs)
+		if err != nil {
+			return err
+		}
+		perWin[i] = hs
+		return nil
+	})
+	for _, e := range empty {
+		if e {
+			nEmpty++
+		}
+	}
+	return perWin, nEmpty, err
+}
+
+// scanLayerGated is the surrogate fast path: feature extraction over
+// every non-empty window, exact simulation of a seed-deterministic
+// sample to train the gate (with a held-out slice for calibration),
+// then a gating pass where confidently-clean windows skip exec
+// entirely and everything guarded or uncertain falls through. The
+// returned report carries the calibration measurements; perWin holds
+// nil for skipped windows.
+func scanLayerGated(ctx context.Context, cfg surrogate.Config, workers int,
+	swins []geom.Rect, extPad, failW, failS int64,
+	getRects, getNeighbor func(i int) []geom.Rect,
+	exec windowExec) (perWin [][]litho.Hotspot, rep *surrogate.Report, nEmpty int, err error) {
+
+	n := len(swins)
+	perWin = make([][]litho.Hotspot, n)
+	rects := make([][]geom.Rect, n)
+	feats := make([]surrogate.Features, n)
+	rep = &surrogate.Report{Windows: n}
+
+	// Pass 1: extract and featurize every window. Features come from
+	// int64 accumulators over the rect multiset, so tiled and flat
+	// extraction order cannot change a single gate decision.
+	err = harness.ForEachErr(ctx, workers, n, func(i int) error {
+		cWindows.Inc()
+		rs := getRects(i)
+		if len(rs) == 0 {
+			cWindowsEmpty.Inc()
+			return nil
+		}
+		rects[i] = rs
+		feats[i] = surrogate.WindowFeatures(swins[i], extPad, rs, getNeighbor(i), failW, failS)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var nonEmpty []int
+	for i := range swins {
+		if rects[i] == nil {
+			nEmpty++
+			continue
+		}
+		nonEmpty = append(nonEmpty, i)
+	}
+	rep.NonEmpty = len(nonEmpty)
+	if len(nonEmpty) == 0 {
+		return perWin, rep, nEmpty, nil
+	}
+
+	// Pass 2: exact ground truth on the deterministic sample.
+	sampleIdx := surrogate.SampleIndices(cfg, len(nonEmpty))
+	sampled := make(map[int]bool, len(sampleIdx))
+	for _, j := range sampleIdx {
+		sampled[nonEmpty[j]] = true
+	}
+	err = harness.ForEachErr(ctx, workers, len(sampleIdx), func(k int) error {
+		surrogate.CSampled.Inc()
+		i := nonEmpty[sampleIdx[k]]
+		hs, err := exec(i, swins[i], rects[i])
+		if err != nil {
+			return err
+		}
+		perWin[i] = hs
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	rep.Sampled = len(sampleIdx)
+
+	// Train/holdout split in sample order: every HoldoutEvery-th
+	// sampled window calibrates instead of training.
+	c := cfg.WithDefaults()
+	var trainX, holdX []surrogate.Features
+	var trainY, holdY []float64
+	for k, j := range sampleIdx {
+		i := nonEmpty[j]
+		y := float64(len(perWin[i]))
+		if (k+1)%c.HoldoutEvery == 0 && len(sampleIdx) > c.HoldoutEvery {
+			holdX = append(holdX, feats[i])
+			holdY = append(holdY, y)
+		} else {
+			trainX = append(trainX, feats[i])
+			trainY = append(trainY, y)
+		}
+	}
+	rep.Holdout = len(holdX)
+	for _, y := range trainY {
+		if y > 0 {
+			rep.TrainDirty++
+		}
+	}
+	for _, y := range holdY {
+		if y > 0 {
+			rep.HoldoutDirty++
+		}
+	}
+	gate := surrogate.NewGate(cfg, trainX, trainY)
+	surrogate.CTrained.Inc()
+	rep.TClean = gate.TClean
+	rep.MAPE, rep.Pearson, rep.Precision, rep.Recall = surrogate.Calibrate(gate, holdX, holdY)
+
+	// Pass 3: gate the remainder. Decisions are made serially (they
+	// are a model evaluation each); only the fall-through exact
+	// simulations fan out.
+	var toRun []int
+	for _, i := range nonEmpty {
+		if sampled[i] {
+			continue
+		}
+		if gate.Skip(feats[i]) {
+			surrogate.CSkip.Inc()
+			rep.Skipped++
+			continue
+		}
+		if surrogate.Guarded(feats[i]) {
+			surrogate.CGuard.Inc()
+			rep.Guarded++
+		} else {
+			surrogate.CFallback.Inc()
+		}
+		toRun = append(toRun, i)
+	}
+	rep.Exact = len(toRun)
+	rep.SkipRate = float64(rep.Skipped) / float64(rep.NonEmpty)
+	err = harness.ForEachErr(ctx, workers, len(toRun), func(k int) error {
+		i := toRun[k]
+		hs, err := exec(i, swins[i], rects[i])
+		if err != nil {
+			return err
+		}
+		perWin[i] = hs
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return perWin, rep, nEmpty, nil
+}
+
+// stitchWindows applies the scan-order seam dedup and canonical sort
+// shared by every engine.
+func stitchWindows(perWin [][]litho.Hotspot) []litho.Hotspot {
+	seen := make(map[geom.Rect]bool)
+	var out []litho.Hotspot
+	for _, hs := range perWin {
+		for _, h := range hs {
+			if seen[h.Box] {
+				continue
+			}
+			seen[h.Box] = true
+			out = append(out, h)
+		}
+	}
+	sortHotspots(out)
+	return out
+}
+
+// neighborLayer picks the adjacent routing layer whose geometry feeds
+// the surrogate's cross-layer context features. Metal3 looks down —
+// there is no Metal4 — and non-metal layers fall back to the next
+// layer up.
+func neighborLayer(l tech.Layer) tech.Layer {
+	switch l {
+	case tech.Metal1:
+		return tech.Metal2
+	case tech.Metal2:
+		return tech.Metal3
+	case tech.Metal3:
+		return tech.Metal2
+	default:
+		if l+1 < tech.NumLayers {
+			return l + 1
+		}
+		return l
+	}
+}
+
+// rectsTouching filters a flat layer to the shapes reaching win with
+// the extractor's closed-interval predicate, so the flat engine feeds
+// the featurizer the exact multiset extraction produces.
+func rectsTouching(rs []geom.Rect, win geom.Rect) []geom.Rect {
+	var out []geom.Rect
+	for _, r := range rs {
+		if touches(r, win) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/litho"
+	"repro/internal/surrogate"
 	"repro/internal/tech"
 )
 
@@ -54,6 +55,16 @@ type Opts struct {
 	// MinWidth/MinSpace are the printed-fail thresholds; 0 means the
 	// per-layer litho.ScanDefaults.
 	MinWidth, MinSpace int64
+	// HotspotInterior keeps only pinch markers interior to drawn
+	// geometry (true necks), dropping line-end pull-back markers —
+	// see litho.InteriorDefect. Bridges are unaffected.
+	HotspotInterior bool
+	// Surrogate enables the uncertainty-gated ML pre-filter on the
+	// hotspot scan: a seed-deterministic model trained in-run on an
+	// exactly-simulated sample decides which windows may skip
+	// simulation; guarded and uncertain windows always fall through.
+	// Part of the content address — changing it changes results.
+	Surrogate *surrogate.Config
 
 	// Cache enables evaluate-once-per-unique-content replay of tile
 	// and scan-window results across repeated macro instances (and
@@ -127,6 +138,13 @@ type Stats struct {
 	Windows, EmptyWindows    int   // litho scan windows
 	WindowHits, WindowMisses int64 // window-level cache outcomes
 
+	// Surrogate gating outcomes, summed over scanned layers (gated
+	// runs only): windows exactly simulated for training+holdout,
+	// skipped as confidently clean, forced exact by fail-risk guards,
+	// and sent to exact by model score (SurrExact includes
+	// SurrGuarded).
+	SurrSampled, SurrSkipped, SurrGuarded, SurrExact int
+
 	ShapesExtracted int64 // total shapes handed to per-tile contexts
 	Elapsed         time.Duration
 
@@ -156,6 +174,10 @@ type Result struct {
 
 	// Density holds per-layer window density maps (KeepDensityMaps).
 	Density map[tech.Layer]fill.DensityMap
+
+	// Surrogate holds the per-layer calibration report when the gated
+	// fast path ran (Opts.Surrogate set).
+	Surrogate map[tech.Layer]*surrogate.Report
 
 	Stats Stats
 }
@@ -436,7 +458,12 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 	// bit-for-bit; each window extracts only the geometry that can
 	// reach its padded raster (simulation pad + one pixel of grid
 	// slack), so an untouched window costs a pruned hierarchy walk.
+	// The per-window cache/remote/local dispatch is the exec closure;
+	// plain and surrogate-gated control flow live in scan.go.
 	var nWin, nWinEmpty, nWinHit, nWinMiss atomic.Int64
+	if o.Surrogate != nil {
+		res.Surrogate = make(map[tech.Layer]*surrogate.Report)
+	}
 	for _, hl := range o.Hotspots {
 		swins := litho.ScanGrid(ex.LayerBBox(hl))
 		res.Hotspots[hl] = nil
@@ -455,21 +482,13 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 		}
 		extPad := litho.ScanPadNM + litho.SimPadNM(t.Optics, o.HotspotCond.Defocus) +
 			2*int64(math.Ceil(t.Optics.GridNM))
-		perWin := make([][]litho.Hotspot, len(swins))
-		err := harness.ForEachErr(stdctx, o.Workers, len(swins), func(i int) error {
+		scanOpts := litho.ScanOpts{Cond: o.HotspotCond, MinWidth: minW, MinSpace: minS, Interior: o.HotspotInterior}
+		getRects := func(i int) []geom.Rect {
+			return ex.AppendLayerRects(swins[i].Bloat(extPad), hl, nil)
+		}
+		exec := func(i int, win geom.Rect, rs []geom.Rect) ([]litho.Hotspot, error) {
 			sp := hWindowNS.Start()
 			defer sp.End()
-			cWindows.Inc()
-			nWin.Add(1)
-			win := swins[i]
-			rs := ex.AppendLayerRects(win.Bloat(extPad), hl, nil)
-			if len(rs) == 0 {
-				// Nothing can reach this window's raster: the flat
-				// simulation of it is identically zero.
-				cWindowsEmpty.Inc()
-				nWinEmpty.Add(1)
-				return nil
-			}
 			var key [32]byte
 			if o.Cache != nil {
 				key = windowKey(cfg, hl, win, extPad, rs)
@@ -482,8 +501,7 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 						h.Box = h.Box.Translate(d)
 						hs[j] = h
 					}
-					perWin[i] = hs
-					return nil
+					return hs, nil
 				}
 			}
 			var kept []litho.Hotspot
@@ -492,7 +510,7 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 				nRemW.Add(1)
 				tr, served, err := remote.EvalTile(stdctx, windowWireRequest(t, o, densLayers, hl, win, extPad, rs))
 				if err != nil {
-					return fmt.Errorf("%s scan window %d: %w", hl, i, err)
+					return nil, fmt.Errorf("%s scan window %d: %w", hl, i, err)
 				}
 				if served.Cached {
 					cRemoteCached.Inc()
@@ -503,20 +521,14 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 					nRemD.Add(1)
 				}
 				if kept, err = absorbWindowResult(tr, win); err != nil {
-					return fmt.Errorf("%s scan window %d: %w", hl, i, err)
+					return nil, fmt.Errorf("%s scan window %d: %w", hl, i, err)
 				}
 			} else {
-				img, err := litho.SimulateCtx(stdctx, rs, win.Bloat(litho.ScanPadNM), t.Optics, o.HotspotCond)
-				if err != nil {
-					return err
-				}
-				for _, h := range img.FindHotspots(minW, minS) {
-					if litho.ScanKeeps(win, h) {
-						kept = append(kept, h)
-					}
+				var err error
+				if kept, err = litho.ScanWindowCtx(stdctx, rs, win, t, hl, scanOpts); err != nil {
+					return nil, err
 				}
 			}
-			perWin[i] = kept
 			if o.Cache != nil {
 				cWinMiss.Inc()
 				nWinMiss.Add(1)
@@ -528,26 +540,36 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 				}
 				o.Cache.put(key, &payload{hs: rel})
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
+			return kept, nil
 		}
-		// Stitch: windows in scan order with the same box-keyed seam
-		// dedup ScanLayer applies, then the deterministic total order.
-		seen := make(map[geom.Rect]bool)
-		var out []litho.Hotspot
-		for _, hs := range perWin {
-			for _, h := range hs {
-				if seen[h.Box] {
-					continue
-				}
-				seen[h.Box] = true
-				out = append(out, h)
+		var perWin [][]litho.Hotspot
+		var nEmpty int
+		if o.Surrogate != nil {
+			getNb := func(i int) []geom.Rect {
+				return ex.AppendLayerRects(swins[i].Bloat(extPad), neighborLayer(hl), nil)
+			}
+			var rep *surrogate.Report
+			perWin, rep, nEmpty, err = scanLayerGated(stdctx, *o.Surrogate, o.Workers,
+				swins, extPad, minW, minS, getRects, getNb, exec)
+			if err != nil {
+				return nil, err
+			}
+			res.Surrogate[hl] = rep
+			res.Stats.SurrSampled += rep.Sampled
+			res.Stats.SurrSkipped += rep.Skipped
+			res.Stats.SurrGuarded += rep.Guarded
+			res.Stats.SurrExact += rep.Exact
+		} else {
+			perWin, nEmpty, err = scanLayerPlain(stdctx, o.Workers, swins, getRects, exec)
+			if err != nil {
+				return nil, err
 			}
 		}
-		sortHotspots(out)
-		res.Hotspots[hl] = out
+		nWin.Add(int64(len(swins)))
+		nWinEmpty.Add(int64(nEmpty))
+		// Stitch: windows in scan order with the same box-keyed seam
+		// dedup ScanLayer applies, then the deterministic total order.
+		res.Hotspots[hl] = stitchWindows(perWin)
 	}
 	res.Stats.Windows = int(nWin.Load())
 	res.Stats.EmptyWindows = int(nWinEmpty.Load())
@@ -709,16 +731,92 @@ func EvaluateFlat(stdctx context.Context, t *tech.Tech, top *layout.Cell, o Opts
 	}
 	res.Violations = all
 
+	if o.Surrogate != nil {
+		res.Surrogate = make(map[tech.Layer]*surrogate.Report)
+	}
 	for _, hl := range o.Hotspots {
-		hs, err := litho.ScanLayerCtx(stdctx, tctx.Layers[hl], t, hl, o.HotspotCond, o.MinWidth, o.MinSpace)
-		if err != nil {
-			return nil, err
+		if o.Surrogate == nil && !o.HotspotInterior {
+			// Legacy exact path, kept verbatim as the oracle baseline.
+			hs, err := litho.ScanLayerCtx(stdctx, tctx.Layers[hl], t, hl, o.HotspotCond, o.MinWidth, o.MinSpace)
+			if err != nil {
+				return nil, err
+			}
+			sortHotspots(hs)
+			res.Hotspots[hl] = hs
+			continue
 		}
-		sortHotspots(hs)
-		res.Hotspots[hl] = hs
+		// Shared stage-B drivers (scan.go), window-local like the tiled
+		// engine so features and gate decisions match it bit-for-bit.
+		// Features must come from the raw drawn multiset — the extractor
+		// emits whole shapes, while tctx.Layers is Normalize()d, which
+		// changes rect counts, drawn widths, and gaps (the printed
+		// raster is union-invariant, the featurizer is not).
+		layerRs := rawLayerRects(flat, hl)
+		swins := litho.ScanGrid(geom.BBoxOf(layerRs))
+		res.Hotspots[hl] = nil
+		if len(swins) == 0 {
+			continue
+		}
+		minW, minS := o.MinWidth, o.MinSpace
+		if minW == 0 || minS == 0 {
+			dw, ds := litho.ScanDefaults(t, hl)
+			if minW == 0 {
+				minW = dw
+			}
+			if minS == 0 {
+				minS = ds
+			}
+		}
+		extPad := litho.ScanPadNM + litho.SimPadNM(t.Optics, o.HotspotCond.Defocus) +
+			2*int64(math.Ceil(t.Optics.GridNM))
+		scanOpts := litho.ScanOpts{Cond: o.HotspotCond, MinWidth: minW, MinSpace: minS, Interior: o.HotspotInterior}
+		getRects := func(i int) []geom.Rect {
+			return rectsTouching(layerRs, swins[i].Bloat(extPad))
+		}
+		exec := func(i int, win geom.Rect, rs []geom.Rect) ([]litho.Hotspot, error) {
+			return litho.ScanWindowCtx(stdctx, rs, win, t, hl, scanOpts)
+		}
+		var perWin [][]litho.Hotspot
+		var err error
+		if o.Surrogate != nil {
+			nbRs := rawLayerRects(flat, neighborLayer(hl))
+			getNb := func(i int) []geom.Rect {
+				return rectsTouching(nbRs, swins[i].Bloat(extPad))
+			}
+			var rep *surrogate.Report
+			perWin, rep, _, err = scanLayerGated(stdctx, *o.Surrogate, o.Workers,
+				swins, extPad, minW, minS, getRects, getNb, exec)
+			if err != nil {
+				return nil, err
+			}
+			res.Surrogate[hl] = rep
+			res.Stats.SurrSampled += rep.Sampled
+			res.Stats.SurrSkipped += rep.Skipped
+			res.Stats.SurrGuarded += rep.Guarded
+			res.Stats.SurrExact += rep.Exact
+		} else {
+			perWin, _, err = scanLayerPlain(stdctx, o.Workers, swins, getRects, exec)
+			if err != nil {
+				return nil, err
+			}
+		}
+		res.Hotspots[hl] = stitchWindows(perWin)
 	}
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// rawLayerRects collects one layer's drawn rects from the flat shape
+// list, un-normalized — the same whole-shape multiset the extractor's
+// window walk produces.
+func rawLayerRects(flat []layout.Shape, l tech.Layer) []geom.Rect {
+	var out []geom.Rect
+	for _, s := range flat {
+		if s.Layer == l {
+			out = append(out, s.R)
+		}
+	}
+	return out
 }
 
 // Equivalent reports whether two results agree on every evaluation

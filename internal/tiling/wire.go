@@ -10,6 +10,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/layout"
 	"repro/internal/litho"
+	"repro/internal/surrogate"
 	"repro/internal/tech"
 )
 
@@ -27,7 +28,11 @@ import (
 
 // TileSchema versions the TileRequest wire payload; a node built with
 // a different schema rejects the request rather than mis-evaluating it.
-const TileSchema = 1
+// Schema 2 added the interior-pinch filter flag and the surrogate
+// gating config (key schema 3): both change what a unit's content
+// address means, so a schema-1 node must reject rather than serve a
+// stale-keyed result.
+const TileSchema = 2
 
 // TileRequest stages.
 const (
@@ -63,10 +68,16 @@ type TileRequest struct {
 	DensityLayers []tech.Layer `json:"densityLayers,omitempty"`
 	// Cond and MinWidth/MinSpace parameterize stage-B scans; raw
 	// zeros mean the per-layer litho.ScanDefaults, resolved
-	// identically on both sides.
-	Cond     litho.Condition `json:"cond"`
-	MinWidth int64           `json:"minWidth,omitempty"`
-	MinSpace int64           `json:"minSpace,omitempty"`
+	// identically on both sides. Interior applies the interior-pinch
+	// filter to stage-B results. Surrogate is the submitter's gating
+	// config: gating itself is submitter-side (skipped windows are
+	// never sent), but the config is part of the content address, so
+	// it rides along for Key parity.
+	Cond      litho.Condition   `json:"cond"`
+	MinWidth  int64             `json:"minWidth,omitempty"`
+	MinSpace  int64             `json:"minSpace,omitempty"`
+	Interior  bool              `json:"interior,omitempty"`
+	Surrogate *surrogate.Config `json:"surrogate,omitempty"`
 
 	// Stage "tile": the core spans (0,0)-(CoreW,CoreH); Pad is the
 	// context halo; Windows are the core's density windows and Shapes
@@ -146,6 +157,7 @@ func (r *TileRequest) keyOpts() Opts {
 	return Opts{
 		DRC: r.DRC, Density: r.Density, DensityWindow: r.DensityWindow,
 		HotspotCond: r.Cond, MinWidth: r.MinWidth, MinSpace: r.MinSpace,
+		HotspotInterior: r.Interior, Surrogate: r.Surrogate,
 	}
 }
 
@@ -202,27 +214,13 @@ func ExecuteTile(ctx context.Context, r *TileRequest) (*TileResult, error) {
 	}
 
 	// Stage "window": one litho scan window, mirroring Evaluate's
-	// miss path with the window at the origin.
-	minW, minS := r.MinWidth, r.MinSpace
-	if minW == 0 || minS == 0 {
-		dw, ds := litho.ScanDefaults(&t, r.Layer)
-		if minW == 0 {
-			minW = dw
-		}
-		if minS == 0 {
-			minS = ds
-		}
-	}
+	// miss path with the window at the origin (litho.ScanWindowCtx
+	// resolves zero thresholds identically on both sides).
 	win := geom.R(0, 0, r.WinW, r.WinH)
-	img, err := litho.SimulateCtx(ctx, r.Rects, win.Bloat(litho.ScanPadNM), t.Optics, r.Cond)
+	kept, err := litho.ScanWindowCtx(ctx, r.Rects, win, &t, r.Layer,
+		litho.ScanOpts{Cond: r.Cond, MinWidth: r.MinWidth, MinSpace: r.MinSpace, Interior: r.Interior})
 	if err != nil {
 		return nil, err
-	}
-	var kept []litho.Hotspot
-	for _, h := range img.FindHotspots(minW, minS) {
-		if litho.ScanKeeps(win, h) {
-			kept = append(kept, h)
-		}
 	}
 	return &TileResult{Hotspots: kept}, nil
 }
@@ -245,6 +243,7 @@ func tileWireRequest(t *tech.Tech, o Opts, densLayers []tech.Layer, core geom.Re
 		Tech: *t, DRC: o.DRC, Density: o.Density, DensityWindow: o.DensityWindow,
 		DensityLayers: densLayers, Cond: o.HotspotCond,
 		MinWidth: o.MinWidth, MinSpace: o.MinSpace,
+		Interior: o.HotspotInterior, Surrogate: o.Surrogate,
 		CoreW: core.Width(), CoreH: core.Height(), Pad: pad,
 		Windows: wins, Shapes: rel,
 	}
@@ -263,6 +262,7 @@ func windowWireRequest(t *tech.Tech, o Opts, densLayers []tech.Layer, layer tech
 		Tech: *t, DRC: o.DRC, Density: o.Density, DensityWindow: o.DensityWindow,
 		DensityLayers: densLayers, Cond: o.HotspotCond,
 		MinWidth: o.MinWidth, MinSpace: o.MinSpace,
+		Interior: o.HotspotInterior, Surrogate: o.Surrogate,
 		Layer: layer, WinW: win.Width(), WinH: win.Height(), Pad: extPad,
 		Rects: rel,
 	}

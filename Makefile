@@ -58,7 +58,11 @@ FLEETBENCH_FLAGS ?= -cluster 3 -chip -chiprects 150000 -seed 11 -kill 1s -restar
 # 1000: the benchmark b.Fatals if any injected defect is lost).
 SURROGATEBENCH_OUT ?= BENCH_PR9.json
 
-.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check servebench clusterbench chipbench fleetbench surrogatebench
+# In-design score-and-repair loop benches (PR10): the repair loop on a
+# ~1M-rect chip plus the incremental-vs-full re-evaluation differential.
+REPAIRBENCH_OUT ?= BENCH_PR10.json
+
+.PHONY: tier1 check build vet test race-fast bench benchcmp fmt-check servebench clusterbench chipbench fleetbench surrogatebench repairbench
 
 tier1: ## build + vet + gofmt gate + full tests under the race detector
 	$(GO) build ./...
@@ -99,6 +103,11 @@ surrogatebench: ## surrogate-gated vs exact-only chip scan -> $(SURROGATEBENCH_O
 	$(GO) test -run='^$$' -bench='^BenchmarkSurrogate' -benchtime=1x -benchmem -timeout 90m . \
 		| $(GO) run ./cmd/benchjson -o $(SURROGATEBENCH_OUT)
 	$(GO) run ./cmd/benchjson -check $(SURROGATEBENCH_OUT)
+
+repairbench: ## in-design repair loop + incremental re-eval differential -> $(REPAIRBENCH_OUT)
+	$(GO) test -run='^$$' -bench='^BenchmarkRepair' -benchtime=1x -benchmem -timeout 90m . \
+		| $(GO) run ./cmd/benchjson -o $(REPAIRBENCH_OUT)
+	$(GO) run ./cmd/benchjson -check $(REPAIRBENCH_OUT)
 
 fleetbench: ## distributed full-chip chaos benchmark -> $(FLEETBENCH_OUT)
 	$(GO) build -o bin/dfmload ./cmd/dfmload

@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/opc"
 	"repro/internal/pattern"
+	"repro/internal/repair"
 	"repro/internal/sta"
 	"repro/internal/surrogate"
 	"repro/internal/tech"
@@ -61,7 +62,10 @@ func BenchmarkT1RedundantVia(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			g := dvia.EvaluateInsertion(l.Flatten(), t)
+			g, err := dvia.EvaluateInsertion(context.Background(), l.Flatten(), t)
+			if err != nil {
+				b.Fatal(err)
+			}
 			rows = append(rows, fmt.Sprintf("T1 rows=%d vias=%d singles=%d doubled=%d Yvia %.6f -> %.6f",
 				r, g.SinglesBefore+2*g.PairsBefore, g.SinglesBefore, g.AddedCuts, g.Before, g.After))
 		}
@@ -857,4 +861,100 @@ func BenchmarkAblationPWOPC(b *testing.B) {
 				rmsAt(pw.Mask, litho.Nominal), rmsAt(pw.Mask, corner))
 		})
 	}
+}
+
+// ---- In-design score-and-repair benches (PR10): the repair loop on
+// a ~1M-rect chip, and its incremental dirty-region re-evaluation
+// against a from-scratch run of the repaired chip. The acceptance bar
+// is a repaired weighted score strictly below the original and an
+// incremental re-evaluation >= 5x cheaper than full, bit-identical
+// results. ----
+
+// repairChip builds the ~1M-rect repair workload: injected spacing
+// defects (spread candidates) plus repairable via sites
+// (under-enclosed pads and single cuts) on top of the standard macro
+// mix.
+func repairChip(b *testing.B) (*layout.Cell, layout.ChipInfo, tiling.Opts) {
+	b.Helper()
+	l, info, err := layout.GenerateChip(tech.N45(), layout.ChipOpts{
+		Seed: 11, TargetRects: 1_000_000, Defects: 8, RepairDefects: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l.Top, info, tiling.Opts{Tile: 24000, Halo: 2000, DRC: true}
+}
+
+// BenchmarkRepairLoop — the full in-design loop (score, propose,
+// legality-check, apply, incremental rescore) timed per iteration;
+// the incremental-vs-full differential reported as gauges.
+func BenchmarkRepairLoop(b *testing.B) {
+	top, info, o := repairChip(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var (
+		out *repair.Outcome
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		out, err = repair.Run(ctx, tech.N45(), top, repair.Opts{Eval: o, Rounds: 2, MaxFixes: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if out.After.Total >= out.Before.Total {
+		b.Fatalf("repair did not improve the weighted score: %.1f -> %.1f", out.Before.Total, out.After.Total)
+	}
+	if len(out.Applied) == 0 {
+		b.Fatal("repair applied no fixes")
+	}
+
+	// Replay the loop's merged edits as one dirty region against a
+	// fresh snapshot of the original chip and race the incremental
+	// re-evaluation against a from-scratch run of the repaired chip.
+	var dirty repair.Delta
+	for _, f := range out.Applied {
+		dirty.Merge(f.Delta)
+	}
+	_, snap, err := tiling.EvaluateSnap(ctx, tech.N45(), tiling.NewExtractor(top), o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t0 := time.Now()
+	incRes, _, err := tiling.EvaluateDelta(ctx, tech.N45(), tiling.NewExtractor(out.Top), snap, dirty.Rects())
+	if err != nil {
+		b.Fatal(err)
+	}
+	incNS := time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	fullRes, err := tiling.EvaluateChip(ctx, tech.N45(), out.Top, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullNS := time.Since(t1).Nanoseconds()
+	if !tiling.Equivalent(incRes, fullRes) {
+		b.Fatal("incremental re-evaluation diverges from the from-scratch run")
+	}
+	speedup := float64(fullNS) / float64(incNS)
+	if speedup < 5 {
+		b.Fatalf("incremental re-evaluation only %.2fx cheaper than full, want >= 5x", speedup)
+	}
+
+	report("repair-loop", func() {
+		fmt.Printf("repair chip: %d rects, %d spacing defects, %d repair sites\n",
+			info.Rects, len(info.DefectBoxes), len(info.RepairSites))
+		fmt.Printf("repair loop: score %.1f -> %.1f, %v applied, %d rejected, %d delta / %d full re-evals\n",
+			out.Before.Total, out.After.Total, out.AppliedByKind(), len(out.Rejected), out.DeltaEvals, out.FullEvals)
+		fmt.Printf("repair delta: incremental %.2fs vs full %.2fs, speedup %.2fx\n",
+			float64(incNS)/1e9, float64(fullNS)/1e9, speedup)
+		fmt.Printf("BenchmarkRepairScoreBeforeMilli \t%8d\t%12.0f ns/op\n", 1, 1000*out.Before.Total)
+		fmt.Printf("BenchmarkRepairScoreAfterMilli \t%8d\t%12.0f ns/op\n", 1, 1000*out.After.Total)
+		fmt.Printf("BenchmarkRepairFixesApplied \t%8d\t%12.0f ns/op\n", 1, float64(len(out.Applied)))
+		fmt.Printf("BenchmarkRepairFixesRejected \t%8d\t%12.0f ns/op\n", 1, float64(len(out.Rejected)))
+		fmt.Printf("BenchmarkRepairIncrementalReeval \t%8d\t%12.0f ns/op\n", 1, float64(incNS))
+		fmt.Printf("BenchmarkRepairFullReeval \t%8d\t%12.0f ns/op\n", 1, float64(fullNS))
+		fmt.Printf("BenchmarkRepairIncrSpeedupCenti \t%8d\t%12.0f ns/op\n", 1, 100*speedup)
+	})
 }

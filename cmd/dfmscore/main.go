@@ -55,6 +55,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/layout"
 	"repro/internal/obs"
+	"repro/internal/repair"
 	"repro/internal/surrogate"
 	"repro/internal/tech"
 	"repro/internal/tiling"
@@ -83,6 +84,10 @@ func main() {
 	chipDens := flag.Bool("chipdensity", true, "chip mode: include the density-window deck (its violation list dominates memory on sparse floorplans)")
 	cluster := flag.Int("cluster", 0, "chip mode: fan tiles across N in-process dfmd backends behind a dfmrouter")
 	policy := flag.String("policy", "affinity", "chip cluster mode: routing policy (affinity, least-loaded, round-robin)")
+	repairFlag := flag.Bool("repair", false, "chip mode: run the in-design score-and-repair loop (weighted DFM score, auto-fixes, incremental re-evaluation)")
+	fixRounds := flag.Int("fixrounds", 2, "repair mode: propose-check-apply-rescore rounds")
+	repairDef := flag.Int("chiprepairdefects", 4, "repair mode: injected repairable via sites (under-enclosed pads + single cuts)")
+	deltaBench := flag.Bool("deltabench", false, "repair mode: time the incremental dirty-region re-evaluation against a from-scratch run of the repaired chip")
 	flag.Parse()
 
 	if *metrics != "" {
@@ -102,6 +107,8 @@ func main() {
 			hotspots: *chipHot, hotDefects: *chipHotDef, interior: *chipInterior,
 			surrogate: *chipSurr, density: *chipDens, workers: *parallel, asJSON: *asJSON,
 			cluster: *cluster, policy: *policy,
+			repair: *repairFlag, fixRounds: *fixRounds, repairDefects: *repairDef,
+			deltaBench: *deltaBench,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "dfmscore:", err)
 			os.Exit(1)
@@ -178,12 +185,20 @@ type chipConfig struct {
 	asJSON     bool
 	cluster    int
 	policy     string
+
+	repair        bool
+	fixRounds     int
+	repairDefects int
+	deltaBench    bool
 }
 
 // runChip executes the full-chip streaming experiment and prints its
 // report. A -chipflat mismatch is an error: the tiled engine's whole
 // claim is exact equivalence to the flat evaluation.
 func runChip(ctx context.Context, t *tech.Tech, cfg chipConfig) error {
+	if cfg.repair || cfg.deltaBench {
+		return runRepair(ctx, t, cfg)
+	}
 	topts := tiling.Opts{
 		Tile: cfg.tile, Halo: cfg.halo, Workers: cfg.workers,
 		DRC: true, Density: cfg.density, DensityWindow: 3000,
@@ -289,4 +304,156 @@ func runChip(ctx context.Context, t *tech.Tech, cfg chipConfig) error {
 		return fmt.Errorf("tiled result does NOT match flat baseline")
 	}
 	return nil
+}
+
+// repairReport is the -repair JSON payload.
+type repairReport struct {
+	ScoreBefore float64           `json:"scoreBefore"`
+	ScoreAfter  float64           `json:"scoreAfter"`
+	Applied     map[string]int    `json:"applied"`
+	Rejected    int               `json:"rejected"`
+	Skipped     map[string]int    `json:"skipped,omitempty"`
+	Rounds      []repairRound     `json:"rounds"`
+	DeltaEvals  int               `json:"deltaEvals"`
+	FullEvals   int               `json:"fullEvals"`
+	Elapsed     time.Duration     `json:"elapsedNs"`
+	Bench       *deltaBenchReport `json:"deltaBench,omitempty"`
+}
+
+type repairRound struct {
+	Proposed     int     `json:"proposed"`
+	Applied      int     `json:"applied"`
+	Rejected     int     `json:"rejected"`
+	SplicedTiles int     `json:"splicedTiles"`
+	Score        float64 `json:"score"`
+}
+
+// deltaBenchReport times the incremental re-evaluation of the repair
+// loop's merged dirty region against a from-scratch run of the
+// repaired chip.
+type deltaBenchReport struct {
+	Incremental time.Duration `json:"incrementalNs"`
+	Full        time.Duration `json:"fullNs"`
+	Speedup     float64       `json:"speedup"`
+	Match       bool          `json:"match"`
+}
+
+// runRepair executes the in-design score-and-repair loop on a
+// generated chip: weighted scoring, legality-checked auto-fixes, and
+// incremental dirty-region re-scoring between rounds.
+func runRepair(ctx context.Context, t *tech.Tech, cfg chipConfig) error {
+	if cfg.surrogate {
+		return fmt.Errorf("-repair is incompatible with -chipsurrogate: surrogate gating is chip-global, the repair loop re-scores incrementally")
+	}
+	if cfg.cluster > 0 {
+		return fmt.Errorf("-repair runs in-process (in-design loop); drop -cluster")
+	}
+	topts := tiling.Opts{
+		Tile: cfg.tile, Halo: cfg.halo, Workers: cfg.workers,
+		DRC: true, Density: cfg.density, DensityWindow: 3000,
+		MaxViolations: 100_000,
+	}
+	if cfg.hotspots {
+		topts.Hotspots = []tech.Layer{tech.Metal1}
+		topts.HotspotInterior = cfg.interior
+	}
+	l, info, err := layout.GenerateChip(t, layout.ChipOpts{
+		Seed: cfg.seed, Slots: cfg.slots, TargetRects: cfg.rects,
+		Defects: cfg.defects, HotspotDefects: cfg.hotDefects,
+		RepairDefects: cfg.repairDefects,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	out, err := repair.Run(ctx, t, l.Top, repair.Opts{Eval: topts, Rounds: cfg.fixRounds})
+	if err != nil {
+		return err
+	}
+	rep := repairReport{
+		ScoreBefore: out.Before.Total, ScoreAfter: out.After.Total,
+		Applied: out.AppliedByKind(), Rejected: len(out.Rejected), Skipped: out.Skipped,
+		DeltaEvals: out.DeltaEvals, FullEvals: out.FullEvals,
+		Elapsed: time.Since(start),
+	}
+	for _, r := range out.Rounds {
+		rep.Rounds = append(rep.Rounds, repairRound{
+			Proposed: r.Proposed, Applied: r.Applied, Rejected: r.Rejected,
+			SplicedTiles: r.SplicedTiles, Score: r.Score,
+		})
+	}
+
+	if cfg.deltaBench {
+		b, err := benchDelta(ctx, t, l.Top, out, topts)
+		if err != nil {
+			return err
+		}
+		rep.Bench = b
+	}
+
+	if cfg.asJSON {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Printf("in-design score-and-repair on %s, seed %d\n", t.Name, cfg.seed)
+		fmt.Printf("  chip:    %dx%d slots, %d rects, %d spacing defects, %d repair sites\n",
+			info.Slots, info.Slots, info.Rects, len(info.DefectBoxes), len(info.RepairSites))
+		fmt.Printf("  score:   %.1f -> %.1f weighted DFM cost\n", out.Before.Total, out.After.Total)
+		fmt.Printf("  fixes:   %v applied, %d rejected (all legality-checked), skipped %v\n",
+			rep.Applied, rep.Rejected, rep.Skipped)
+		for i, r := range out.Rounds {
+			if r.Proposed == 0 {
+				fmt.Printf("  round %d: converged, nothing left to propose\n", i+1)
+				continue
+			}
+			fmt.Printf("  round %d: %d proposed, %d applied, %d rejected, %d tiles spliced, score %.1f\n",
+				i+1, r.Proposed, r.Applied, r.Rejected, r.SplicedTiles, r.Score)
+		}
+		fmt.Printf("  re-eval: %d incremental, %d full, %v total\n",
+			out.DeltaEvals, out.FullEvals, rep.Elapsed.Round(time.Millisecond))
+		if rep.Bench != nil {
+			fmt.Printf("  delta:   incremental %v vs full %v (%.1fx), results identical: %v\n",
+				rep.Bench.Incremental.Round(time.Millisecond), rep.Bench.Full.Round(time.Millisecond),
+				rep.Bench.Speedup, rep.Bench.Match)
+		}
+	}
+	if rep.Bench != nil && !rep.Bench.Match {
+		return fmt.Errorf("incremental re-evaluation does NOT match the from-scratch run")
+	}
+	return nil
+}
+
+// benchDelta replays the repair loop's merged edits as one delta
+// against a fresh snapshot of the original chip and times it against a
+// from-scratch evaluation of the repaired chip — both uncached, both
+// verified equivalent.
+func benchDelta(ctx context.Context, t *tech.Tech, orig *layout.Cell, out *repair.Outcome, topts tiling.Opts) (*deltaBenchReport, error) {
+	var dirty repair.Delta
+	for _, f := range out.Applied {
+		dirty.Merge(f.Delta)
+	}
+	_, snap, err := tiling.EvaluateSnap(ctx, t, tiling.NewExtractor(orig), topts)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	incRes, _, err := tiling.EvaluateDelta(ctx, t, tiling.NewExtractor(out.Top), snap, dirty.Rects())
+	if err != nil {
+		return nil, err
+	}
+	incremental := time.Since(t0)
+	t1 := time.Now()
+	fullRes, err := tiling.EvaluateChip(ctx, t, out.Top, topts)
+	if err != nil {
+		return nil, err
+	}
+	full := time.Since(t1)
+	return &deltaBenchReport{
+		Incremental: incremental, Full: full,
+		Speedup: float64(full) / float64(incremental),
+		Match:   tiling.Equivalent(incRes, fullRes),
+	}, nil
 }

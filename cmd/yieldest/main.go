@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -73,7 +74,11 @@ func main() {
 			res.Trials, res.Shorts, res.Opens)
 	}
 	if *whatIf {
-		g := dvia.EvaluateInsertion(flat, t)
+		g, err := dvia.EvaluateInsertion(context.Background(), flat, t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yieldest:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("redundant-via what-if: singles %d -> %d, Yvia %.6f -> %.6f (%d cuts added)\n",
 			g.SinglesBefore, g.SinglesAfter, g.Before, g.After, g.AddedCuts)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,10 @@ func main() {
 			log.Fatal(err)
 		}
 		flat := l.Flatten()
-		g := dvia.EvaluateInsertion(flat, t)
+		g, err := dvia.EvaluateInsertion(context.Background(), flat, t)
+		if err != nil {
+			log.Fatal(err)
+		}
 		nv := g.SinglesBefore + 2*g.PairsBefore
 		fmt.Printf("%-10s %8d %8d %10d %12.6f %12.6f %9.1f%%\n",
 			fmt.Sprintf("rows=%d", rows), nv, g.SinglesBefore, g.AddedCuts,
@@ -41,7 +45,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	g := dvia.EvaluateInsertion(l.Flatten(), t)
+	g, err := dvia.EvaluateInsertion(context.Background(), l.Flatten(), t)
+	if err != nil {
+		log.Fatal(err)
+	}
 	const (
 		chipVias = 1e8
 		pChip    = 1e-9 // production-grade per-via failure rate

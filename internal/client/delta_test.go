@@ -1,0 +1,84 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/server"
+	"repro/internal/tech"
+	"repro/internal/tiling"
+)
+
+func deltaTile() *tiling.TileRequest {
+	return &tiling.TileRequest{
+		Schema: tiling.TileSchema, Stage: tiling.StageTile,
+		Tech: *tech.N45(), DRC: true,
+		CoreW: 8000, CoreH: 8000, Pad: 2000,
+		Shapes: []layout.Shape{
+			{Layer: tech.Metal2, R: geom.R(1500, 1500, 1800, 1570)},
+			{Layer: tech.Metal2, R: geom.R(1850, 1500, 2150, 1570)},
+		},
+	}
+}
+
+func TestClientEvalDelta(t *testing.T) {
+	s := server.New(server.Config{Workers: 2, Queue: 8, MaxWait: time.Hour})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := New(ts.URL, nil)
+	ctx := context.Background()
+
+	if _, _, err := c.EvalTile(ctx, deltaTile()); err != nil {
+		t.Fatal(err)
+	}
+	parentKey, err := server.KeyForRequest(server.JobRequest{Kind: server.KindTile, Tile: deltaTile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heal := &tiling.DeltaRequest{
+		Schema: tiling.TileSchema, Parent: parentKey,
+		Removed: []layout.Shape{{Layer: tech.Metal2, R: geom.R(1850, 1500, 2150, 1570)}},
+		Added:   []layout.Shape{{Layer: tech.Metal2, R: geom.R(1870, 1500, 2170, 1570)}},
+	}
+	tr, _, childKey, err := c.EvalDelta(ctx, heal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Violations) != 0 {
+		t.Fatalf("healed delta still violates: %+v", tr.Violations)
+	}
+	if !strings.HasPrefix(childKey, "sha256:") || childKey == parentKey {
+		t.Fatalf("child key = %q (parent %q)", childKey, parentKey)
+	}
+
+	// Unknown parent surfaces as the typed miss.
+	ghost := "sha256:" + strings.Repeat("0", 64)
+	_, _, _, err = c.EvalDelta(ctx, &tiling.DeltaRequest{Schema: tiling.TileSchema, Parent: ghost})
+	var pm *ParentMiss
+	if !errors.As(err, &pm) || pm.Parent != ghost {
+		t.Fatalf("ghost parent: err = %v, want ParentMiss", err)
+	}
+
+	// EvalDeltaOrFull degrades to the full child tile on a miss, and
+	// reports the same content address the delta path would have.
+	child, err := heal.Apply(deltaTile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := &tiling.DeltaRequest{Schema: tiling.TileSchema, Parent: ghost,
+		Removed: heal.Removed, Added: heal.Added}
+	tr2, _, key2, err := c.EvalDeltaOrFull(ctx, orphan, child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Violations) != 0 || key2 != childKey {
+		t.Fatalf("fallback: violations %+v key %q, want clean result under key %q", tr2.Violations, key2, childKey)
+	}
+}

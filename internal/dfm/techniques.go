@@ -68,8 +68,12 @@ func EvalRedundantVia(ctx context.Context, t *tech.Tech, opts layout.BlockOpts) 
 	flat := l.Flatten()
 	sp.End()
 	sp = stage("redundant-via", "insert")
-	g := dvia.EvaluateInsertion(flat, t)
+	g, err := dvia.EvaluateInsertion(ctx, flat, t)
 	sp.End()
+	if err != nil {
+		o.Err = err
+		return o
+	}
 
 	nb := g.SinglesBefore + 2*g.PairsBefore
 	na := g.SinglesAfter + 2*g.PairsAfter

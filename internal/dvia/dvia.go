@@ -7,6 +7,9 @@
 package dvia
 
 import (
+	"context"
+	"sort"
+
 	"repro/internal/geom"
 	"repro/internal/layout"
 	"repro/internal/tech"
@@ -19,6 +22,18 @@ type Opts struct {
 	Layers []tech.Layer
 }
 
+// Insertion is one committed second cut with everything it brought
+// along: the cut itself plus any landing-bar extensions. Shapes is the
+// per-insertion slice of Report.AddedShapes, so a caller that wants to
+// apply (or roll back) one doubling at a time has its exact geometry.
+type Insertion struct {
+	Via    tech.Layer // via layer of the added cut
+	Cut    geom.Rect  // the added second cut
+	Origin geom.Rect  // the existing single cut it pairs with
+	Net    layout.NetID
+	Shapes []layout.Shape // cut + landing bars (0..2 metal rects)
+}
+
 // Report summarizes one insertion run.
 type Report struct {
 	Candidates int // single vias examined
@@ -27,13 +42,22 @@ type Report struct {
 	Coverage float64
 	// AddedShapes is the new geometry (cuts and pads).
 	AddedShapes []layout.Shape
+	// Placed lists each committed insertion with its own shapes, in
+	// the deterministic layer-then-coordinate insertion order.
+	Placed []Insertion
 }
 
 // Insert finds single vias in the flat layout and returns the added
 // second cuts plus enclosure pads, checking cut spacing and metal
 // spacing against all existing geometry. The input is not modified;
 // callers append Report.AddedShapes.
-func Insert(flat []layout.Shape, t *tech.Tech, o Opts) Report {
+//
+// Insertion order is layer-then-coordinate deterministic: via layers
+// in Opts order, cuts within a layer by (Y0, X0, Y1, X1, Net) — so the
+// result is bit-identical across runs regardless of the input shape
+// order. A canceled context aborts with the error; the partial report
+// is not returned.
+func Insert(ctx context.Context, flat []layout.Shape, t *tech.Tech, o Opts) (Report, error) {
 	layers := o.Layers
 	if len(layers) == 0 {
 		layers = []tech.Layer{tech.Via1, tech.Via2}
@@ -41,16 +65,18 @@ func Insert(flat []layout.Shape, t *tech.Tech, o Opts) Report {
 	var rep Report
 
 	for _, vl := range layers {
-		rep.insertLayer(flat, t, vl)
+		if err := rep.insertLayer(ctx, flat, t, vl); err != nil {
+			return Report{}, err
+		}
 	}
 	if rep.Candidates > 0 {
 		rep.Coverage = float64(rep.Inserted) / float64(rep.Candidates)
 	}
-	return rep
+	return rep, nil
 }
 
 // insertLayer processes one via layer.
-func (rep *Report) insertLayer(flat []layout.Shape, t *tech.Tech, vl tech.Layer) {
+func (rep *Report) insertLayer(ctx context.Context, flat []layout.Shape, t *tech.Tech, vl tech.Layer) error {
 	rules := t.Rules[vl]
 	vs, vsp := rules.ViaSize, rules.ViaSpace
 	below, above := vl.Below(), vl.AboveOf()
@@ -77,10 +103,34 @@ func (rep *Report) insertLayer(flat []layout.Shape, t *tech.Tech, vl tech.Layer)
 			aboveNets = append(aboveNets, s.Net)
 		}
 	}
+	// Candidates are visited in coordinate order, not input order: each
+	// committed insertion lands in the occupancy indexes and constrains
+	// later candidates, so the visit order is part of the result.
+	sort.Slice(cuts, func(i, j int) bool {
+		a, b := cuts[i], cuts[j]
+		if a.R.Y0 != b.R.Y0 {
+			return a.R.Y0 < b.R.Y0
+		}
+		if a.R.X0 != b.R.X0 {
+			return a.R.X0 < b.R.X0
+		}
+		if a.R.Y1 != b.R.Y1 {
+			return a.R.Y1 < b.R.Y1
+		}
+		if a.R.X1 != b.R.X1 {
+			return a.R.X1 < b.R.X1
+		}
+		return a.Net < b.Net
+	})
 
 	// Identify singles (no same-net partner within pairing distance).
 	pairDist := 3 * vs
-	for _, c := range cuts {
+	for ci, c := range cuts {
+		if ci&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if c.Net == layout.NoNet {
 			continue
 		}
@@ -96,6 +146,7 @@ func (rep *Report) insertLayer(flat []layout.Shape, t *tech.Tech, vl tech.Layer)
 			continue
 		}
 		rep.Candidates++
+		cCandidates.Inc()
 
 		// Try the four adjacent positions at minimum cut spacing. Where
 		// the existing same-net metal on a layer does not already
@@ -117,26 +168,31 @@ func (rep *Report) insertLayer(flat []layout.Shape, t *tech.Tech, vl tech.Layer)
 			if !okA {
 				continue
 			}
-			rep.AddedShapes = append(rep.AddedShapes,
+			ins := Insertion{Via: vl, Cut: cand, Origin: c.R, Net: c.Net}
+			ins.Shapes = append(ins.Shapes,
 				layout.Shape{Layer: vl, R: cand, Net: c.Net})
 			cutIx.Insert(cand)
 			cutNets = append(cutNets, c.Net)
 			if !extB.Empty() {
-				rep.AddedShapes = append(rep.AddedShapes,
+				ins.Shapes = append(ins.Shapes,
 					layout.Shape{Layer: below, R: extB, Net: c.Net})
 				belowIx.Insert(extB)
 				belowNets = append(belowNets, c.Net)
 			}
 			if !extA.Empty() {
-				rep.AddedShapes = append(rep.AddedShapes,
+				ins.Shapes = append(ins.Shapes,
 					layout.Shape{Layer: above, R: extA, Net: c.Net})
 				aboveIx.Insert(extA)
 				aboveNets = append(aboveNets, c.Net)
 			}
+			rep.AddedShapes = append(rep.AddedShapes, ins.Shapes...)
+			rep.Placed = append(rep.Placed, ins)
 			rep.Inserted++
+			cInserted.Inc()
 			break
 		}
 	}
+	return nil
 }
 
 // cutLegal checks cut-to-cut spacing against other nets (same-net
@@ -223,15 +279,18 @@ type YieldGain struct {
 
 // EvaluateInsertion inserts redundant vias and reports the via-yield
 // movement and cost (added cuts; no metal is added by construction).
-func EvaluateInsertion(flat []layout.Shape, t *tech.Tech) YieldGain {
+func EvaluateInsertion(ctx context.Context, flat []layout.Shape, t *tech.Tech) (YieldGain, error) {
 	var g YieldGain
 	g.SinglesBefore, g.PairsBefore = yieldpkg.CountViaRedundancy(flat, t)
 	g.Before = yieldpkg.ViaYield(g.SinglesBefore, g.PairsBefore, t.Defects.ViaFailProb)
 
-	g.Report = Insert(flat, t, Opts{})
+	var err error
+	if g.Report, err = Insert(ctx, flat, t, Opts{}); err != nil {
+		return YieldGain{}, err
+	}
 	after := append(append([]layout.Shape{}, flat...), g.Report.AddedShapes...)
 	g.SinglesAfter, g.PairsAfter = yieldpkg.CountViaRedundancy(after, t)
 	g.After = yieldpkg.ViaYield(g.SinglesAfter, g.PairsAfter, t.Defects.ViaFailProb)
 	g.AddedCuts = g.Report.Inserted
-	return g
+	return g, nil
 }

@@ -1,6 +1,9 @@
 package dvia
 
 import (
+	"context"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/drc"
@@ -25,7 +28,10 @@ func singleVia(t *tech.Tech, at geom.Point, net layout.NetID) []layout.Shape {
 func TestInsertDoublesIsolatedVia(t *testing.T) {
 	tt := tech.N45()
 	flat := singleVia(tt, geom.Pt(1000, 1000), 5)
-	rep := Insert(flat, tt, Opts{})
+	rep, err := Insert(context.Background(), flat, tt, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Candidates != 1 {
 		t.Fatalf("candidates = %d", rep.Candidates)
 	}
@@ -55,7 +61,10 @@ func TestInsertSkipsAlreadyPaired(t *testing.T) {
 		{Layer: tech.Metal1, R: cut1.Union(cut2).Bloat(300), Net: 5},
 		{Layer: tech.Metal2, R: cut1.Union(cut2).Bloat(300), Net: 5},
 	}
-	rep := Insert(flat, tt, Opts{})
+	rep, err := Insert(context.Background(), flat, tt, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Candidates != 0 || rep.Inserted != 0 {
 		t.Fatalf("paired via re-processed: %+v", rep)
 	}
@@ -80,7 +89,10 @@ func TestInsertRespectsNeighborSpacing(t *testing.T) {
 		blocker := cut.Translate(d)
 		flat = append(flat, layout.Shape{Layer: tech.Via1, R: blocker, Net: 9})
 	}
-	rep := Insert(flat, tt, Opts{})
+	rep, err := Insert(context.Background(), flat, tt, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Inserted != 0 {
 		t.Fatalf("inserted a cut with illegal spacing: %+v", rep.AddedShapes)
 	}
@@ -95,7 +107,10 @@ func TestInsertOnBlockIsDRCLegal(t *testing.T) {
 	flat := l.Flatten()
 	beforeRes := drc.StandardDeck(tt).Run(drc.NewContext(tt, flat))
 
-	rep := Insert(flat, tt, Opts{})
+	rep, err := Insert(context.Background(), flat, tt, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Inserted == 0 {
 		t.Fatalf("no vias doubled on a routed block (candidates=%d)", rep.Candidates)
 	}
@@ -119,7 +134,10 @@ func TestEvaluateInsertionImprovesYield(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := EvaluateInsertion(l.Flatten(), tt)
+	g, err := EvaluateInsertion(context.Background(), l.Flatten(), tt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g.After <= g.Before {
 		t.Fatalf("via yield did not improve: %v -> %v", g.Before, g.After)
 	}
@@ -128,5 +146,62 @@ func TestEvaluateInsertionImprovesYield(t *testing.T) {
 	}
 	if g.AddedCuts != g.Report.Inserted || g.AddedCuts == 0 {
 		t.Fatalf("added-cut accounting wrong: %+v", g)
+	}
+}
+
+// TestInsertDeterministicUnderInputOrder pins the layer-then-coordinate
+// insertion order: shuffling the flat shape list must not change one
+// bit of the report. Repair deltas are built from these shapes, so the
+// whole score-and-repair loop inherits this reproducibility.
+func TestInsertDeterministicUnderInputOrder(t *testing.T) {
+	tt := tech.N45()
+	l, err := layout.GenerateBlock(tt, layout.BlockOpts{Rows: 3, RowWidth: 10000, Nets: 15, MaxFan: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := l.Flatten()
+	ref, err := Insert(context.Background(), flat, tt, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Inserted == 0 {
+		t.Fatal("no insertions on the routed block; test needs a non-trivial report")
+	}
+	if len(ref.Placed) != ref.Inserted {
+		t.Fatalf("Placed groups %d insertions, Inserted = %d", len(ref.Placed), ref.Inserted)
+	}
+	var grouped int
+	for _, ins := range ref.Placed {
+		grouped += len(ins.Shapes)
+	}
+	if grouped != len(ref.AddedShapes) {
+		t.Fatalf("Placed shapes %d != AddedShapes %d", grouped, len(ref.AddedShapes))
+	}
+	rnd := rand.New(rand.NewSource(7))
+	for run := 0; run < 3; run++ {
+		shuf := append([]layout.Shape{}, flat...)
+		rnd.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		got, err := Insert(context.Background(), shuf, tt, Opts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("run %d: report differs under shuffled input", run)
+		}
+	}
+}
+
+// TestInsertCanceledContext pins the cancellation contract: a canceled
+// context aborts with the error and an empty report.
+func TestInsertCanceledContext(t *testing.T) {
+	tt := tech.N45()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	flat := singleVia(tt, geom.Pt(1000, 1000), 5)
+	if _, err := Insert(ctx, flat, tt, Opts{}); err == nil {
+		t.Fatal("canceled context did not abort Insert")
+	}
+	if _, err := EvaluateInsertion(ctx, flat, tt); err == nil {
+		t.Fatal("canceled context did not abort EvaluateInsertion")
 	}
 }

@@ -1,0 +1,8 @@
+package dvia
+
+import "repro/internal/obs"
+
+var (
+	cCandidates = obs.C("dvia.candidates")
+	cInserted   = obs.C("dvia.inserted")
+)

@@ -52,6 +52,14 @@ type ChipOpts struct {
 	// printability failures the hotspot scan must find, recorded in
 	// ChipInfo.HotspotSites so surrogate-gated scans can prove recall.
 	HotspotDefects int
+	// RepairDefects injects up to this many seeded repairable via
+	// structures (one pair per slot, in the margin band): a legally
+	// enclosed single via1 cut with room to double, and an
+	// under-enclosed cut whose pad a repair pass can grow. Both are
+	// net-annotated top-level geometry, so in-design repair tools see
+	// them without flattening macros; sites are recorded in
+	// ChipInfo.RepairSites.
+	RepairDefects int
 	// MacroMix weights the four macro kinds {sram, logicA, logicB,
 	// viafarm}; nil means {5, 2, 2, 1}.
 	MacroMix []int
@@ -71,6 +79,19 @@ type ChipInfo struct {
 	MacroCounts  map[string]int
 	DefectBoxes  []geom.Rect   // gap box of each injected spacing defect
 	HotspotSites []HotspotSite // injected litho defect structures
+	RepairSites  []RepairSite  // injected repairable via structures
+}
+
+// RepairSite is one injected repairable via structure. Kind "double"
+// is a legally enclosed single cut with clear space for a redundant
+// partner; kind "grow" is a cut whose metal2 pad under-encloses it by
+// 10nm (one via1.enc.metal2 violation a repair pass can fix by growing
+// the pad). Box bounds the site including the space a fix may claim.
+type RepairSite struct {
+	Kind string // "double" or "grow"
+	Net  NetID
+	Cut  geom.Rect // the via1 cut
+	Box  geom.Rect
 }
 
 // HotspotSite is one injected litho defect structure: the scan of
@@ -249,6 +270,49 @@ func GenerateChip(t *tech.Tech, opts ChipOpts) (*Layout, ChipInfo, error) {
 				info.HotspotSites = append(info.HotspotSites,
 					HotspotSite{Layer: tech.Metal1, Kind: "bridge", Box: geom.R(x, y, x+2000, y+1450)})
 			}
+		}
+	}
+
+	// Repairable via injection: each selected slot gets a "double" site
+	// (a single via1 cut on a 400nm metal1/metal2 crossing — legal as
+	// drawn, with clear margin-band space a redundant-via pass can claim)
+	// and a "grow" site (the same structure with the metal2 pad rotated
+	// vertical and pulled 10nm short of the required end enclosure — one
+	// deterministic via1.enc.metal2 violation whose fix is a pad
+	// extension). Structures are net-annotated and top-level. The slot
+	// permutation is drawn after the hotspot one, so chips with
+	// RepairDefects == 0 are bit-identical to earlier seeds.
+	nRep := opts.RepairDefects
+	if nRep > slots*slots {
+		nRep = slots * slots
+	}
+	if nRep > 0 {
+		for k, si := range rnd.Perm(slots * slots)[:nRep] {
+			sx, sy := int64(si%slots), int64(si/slots)
+			bx := sx*opts.SlotPitch + 6000
+			by := sy*opts.SlotPitch + 400
+			nd, ng := NetID(2*k), NetID(2*k+1)
+
+			// Double site: metal1 and metal2 bars, one enclosed cut.
+			cut := geom.R(bx, by, bx+60, by+60)
+			bar := geom.R(bx-20, by-5, bx+380, by+65)
+			top.AddNet(tech.Metal1, bar, nd)
+			top.AddNet(tech.Metal2, bar, nd)
+			top.AddNet(tech.Via1, cut, nd)
+			info.RepairSites = append(info.RepairSites,
+				RepairSite{Kind: "double", Net: nd, Cut: cut, Box: bar})
+
+			// Grow site: the vertical metal2 pad stops at by-10, 10nm
+			// short of the 20nm end enclosure the cut needs below.
+			gx := bx + 1000
+			gcut := geom.R(gx, by, gx+60, by+60)
+			gbar := geom.R(gx-20, by-5, gx+380, by+65)
+			gpad := geom.R(gx-5, by-10, gx+65, by+390)
+			top.AddNet(tech.Metal1, gbar, ng)
+			top.AddNet(tech.Metal2, gpad, ng)
+			top.AddNet(tech.Via1, gcut, ng)
+			info.RepairSites = append(info.RepairSites,
+				RepairSite{Kind: "grow", Net: ng, Cut: gcut, Box: gbar.Union(gpad).Bloat(20)})
 		}
 	}
 

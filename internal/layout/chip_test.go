@@ -333,6 +333,115 @@ func TestGenerateChipHotspotDefects(t *testing.T) {
 	}
 }
 
+// Repairable-via injection: sites are recorded in pairs, net-annotated
+// at top level, strictly additive, and drawn after the earlier
+// permutations so existing configurations do not shift.
+func TestGenerateChipRepairDefects(t *testing.T) {
+	tt := tech.N45()
+	base := ChipOpts{Seed: 11, Slots: 3, Defects: 4, HotspotDefects: 3}
+	rep := base
+	rep.RepairDefects = 2
+
+	l0, i0, err := GenerateChip(tt, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, i1, err := GenerateChip(tt, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(i0.RepairSites) != 0 {
+		t.Fatalf("base chip recorded repair sites: %v", i0.RepairSites)
+	}
+	if len(i1.RepairSites) != 4 {
+		t.Fatalf("recorded %d sites, want 2 slots x 2", len(i1.RepairSites))
+	}
+	nets := make(map[NetID]bool)
+	for k, s := range i1.RepairSites {
+		want := "double"
+		if k%2 == 1 {
+			want = "grow"
+		}
+		if s.Kind != want {
+			t.Fatalf("site %d kind = %q, want %q", k, s.Kind, want)
+		}
+		if !i1.Die.ContainsRect(s.Box) || !s.Box.ContainsRect(s.Cut) {
+			t.Fatalf("site %d geometry inconsistent: %+v", k, s)
+		}
+		if s.Net == NoNet || nets[s.Net] {
+			t.Fatalf("site %d net %d missing or reused", k, s.Net)
+		}
+		nets[s.Net] = true
+	}
+	// Earlier injections must not move.
+	if len(i1.DefectBoxes) != len(i0.DefectBoxes) || len(i1.HotspotSites) != len(i0.HotspotSites) {
+		t.Fatalf("earlier injections changed: %+v vs %+v", i1, i0)
+	}
+	for i := range i0.DefectBoxes {
+		if i0.DefectBoxes[i] != i1.DefectBoxes[i] {
+			t.Fatalf("spacing defect %d moved", i)
+		}
+	}
+	for i := range i0.HotspotSites {
+		if i0.HotspotSites[i] != i1.HotspotSites[i] {
+			t.Fatalf("hotspot site %d moved", i)
+		}
+	}
+	// Strictly additive: 2 slots x (3 double + 3 grow rects), each
+	// net-annotated and inside its recorded site box.
+	if i1.Rects != i0.Rects+12 {
+		t.Fatalf("info.Rects = %d, want base %d + 12", i1.Rects, i0.Rects)
+	}
+	f0 := make(map[Shape]int)
+	for _, s := range l0.Top.Shapes {
+		f0[s]++
+	}
+	added := 0
+	for _, s := range l1.Top.Shapes {
+		if f0[s] > 0 {
+			f0[s]--
+			continue
+		}
+		added++
+		if s.Net == NoNet {
+			t.Fatalf("injected shape %+v has no net", s)
+		}
+		inSite := false
+		for _, site := range i1.RepairSites {
+			if site.Box.ContainsRect(s.R) && site.Net == s.Net {
+				inSite = true
+				break
+			}
+		}
+		if !inSite {
+			t.Fatalf("injected shape %+v outside every recorded site", s)
+		}
+	}
+	if added != 12 {
+		t.Fatalf("injected %d top-level shapes, want 12", added)
+	}
+
+	// Deterministic, and clamped to the slot grid.
+	_, i2, err := GenerateChip(tt, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range i1.RepairSites {
+		if i1.RepairSites[i] != i2.RepairSites[i] {
+			t.Fatalf("same seed, site %d differs", i)
+		}
+	}
+	over := rep
+	over.RepairDefects = 100
+	_, io, err := GenerateChip(tt, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(io.RepairSites) != 18 {
+		t.Fatalf("clamped sites = %d, want 2 x slots^2 = 18", len(io.RepairSites))
+	}
+}
+
 func BenchmarkFlatten(b *testing.B) {
 	l, info, err := GenerateChip(tech.N45(), ChipOpts{Seed: 2, Slots: 4})
 	if err != nil {

@@ -1,0 +1,91 @@
+package repair
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Delta is one typed layout edit against a cell's own (top-level)
+// shapes: remove exact shapes, add new ones. Instances are never
+// touched — in-design repair edits routing and vias the designer owns,
+// not macro internals. The zero Delta is a no-op.
+type Delta struct {
+	Added   []layout.Shape
+	Removed []layout.Shape
+}
+
+// Empty reports whether the delta edits nothing.
+func (d Delta) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// Rects returns every added and removed rect — the dirty region in the
+// per-rect form tiling.EvaluateDelta wants (their union of touches is
+// the invalidation footprint; a merged bbox would over-invalidate).
+func (d Delta) Rects() []geom.Rect {
+	out := make([]geom.Rect, 0, len(d.Added)+len(d.Removed))
+	for _, s := range d.Added {
+		out = append(out, s.R)
+	}
+	for _, s := range d.Removed {
+		out = append(out, s.R)
+	}
+	return out
+}
+
+// BBox returns the bounding box of the dirty region.
+func (d Delta) BBox() geom.Rect {
+	var bb geom.Rect
+	for _, s := range d.Added {
+		bb = bb.Union(s.R)
+	}
+	for _, s := range d.Removed {
+		bb = bb.Union(s.R)
+	}
+	return bb
+}
+
+// Merge appends another delta's edits onto d.
+func (d *Delta) Merge(o Delta) {
+	d.Added = append(d.Added, o.Added...)
+	d.Removed = append(d.Removed, o.Removed...)
+}
+
+// Apply returns a new cell: top with the delta applied. The returned
+// cell shares top's instances (they are immutable under repair) and
+// keeps its name, so content-addressed evaluation sees the same macro
+// geometry. Removed shapes are matched exactly (layer, rect, net) as a
+// multiset against top's own shapes; a removal that matches nothing is
+// an error — it means the delta was derived against different
+// geometry, and applying it silently would desynchronize the repair
+// loop from the layout it thinks it is editing. top is not modified.
+func Apply(top *layout.Cell, d Delta) (*layout.Cell, error) {
+	c := layout.NewCell(top.Name)
+	c.Insts = top.Insts
+	c.Pins = top.Pins
+	if d.Empty() {
+		c.Shapes = append([]layout.Shape(nil), top.Shapes...)
+		return c, nil
+	}
+	pending := append([]layout.Shape(nil), d.Removed...)
+	c.Shapes = make([]layout.Shape, 0, len(top.Shapes)+len(d.Added)-len(d.Removed))
+outer:
+	for _, s := range top.Shapes {
+		for i, r := range pending {
+			if s == r {
+				pending[i] = pending[len(pending)-1]
+				pending = pending[:len(pending)-1]
+				continue outer
+			}
+		}
+		c.Shapes = append(c.Shapes, s)
+	}
+	if len(pending) != 0 {
+		return nil, fmt.Errorf("repair: delta removes %v @ %v which is not a top-level shape",
+			pending[0].Layer, pending[0].R)
+	}
+	for _, s := range d.Added {
+		c.AddNet(s.Layer, s.R, s.Net)
+	}
+	return c, nil
+}

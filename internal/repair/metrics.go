@@ -1,0 +1,10 @@
+package repair
+
+import "repro/internal/obs"
+
+var (
+	cApplied    = obs.C("repair.fixes.applied")
+	cRejected   = obs.C("repair.fixes.rejected")
+	cDeltaEvals = obs.C("repair.evals.delta")
+	cFullEvals  = obs.C("repair.evals.full")
+)

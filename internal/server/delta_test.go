@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+	"repro/internal/tiling"
+)
+
+// healDelta removes tileReq(0)'s right-hand offender and re-adds it
+// 20nm further right, turning the 50nm gap legal.
+func healDelta(parent string) *tiling.DeltaRequest {
+	return &tiling.DeltaRequest{
+		Schema: tiling.TileSchema, Parent: parent,
+		Removed: []layout.Shape{{Layer: tech.Metal2, R: geom.R(1850, 1500, 2150, 1570)}},
+		Added:   []layout.Shape{{Layer: tech.Metal2, R: geom.R(1870, 1500, 2170, 1570)}},
+	}
+}
+
+func TestDeltaJobLifecycle(t *testing.T) {
+	s := New(Config{Workers: 2, Queue: 8, MaxWait: time.Hour})
+	defer s.Shutdown(context.Background())
+
+	parent, _, err := s.submit(JobRequest{Kind: KindTile, Tile: tileReq(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.wait(context.Background(), parent.ID); err != nil || !ok {
+		t.Fatalf("parent wait: ok=%v err=%v", ok, err)
+	}
+
+	st, _, err := s.submit(JobRequest{Kind: KindDelta, Delta: healDelta(parent.Key)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindDelta {
+		t.Fatalf("delta job kind = %q, want %q", st.Kind, KindDelta)
+	}
+	if !strings.HasPrefix(st.Key, "sha256:") || st.Key == parent.Key {
+		t.Fatalf("delta job key = %q (parent %q), want the child's own address", st.Key, parent.Key)
+	}
+	fin, ok, err := s.wait(context.Background(), st.ID)
+	if err != nil || !ok || fin.State != StateDone {
+		t.Fatalf("delta wait: %+v ok=%v err=%v", fin, ok, err)
+	}
+	if fin.Result != nil {
+		t.Fatalf("delta job carries a technique outcome: %+v", fin.Result)
+	}
+
+	// The delta result must be byte-identical to executing the
+	// materialized child from scratch.
+	child, err := healDelta(parent.Key).Apply(tileReq(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tiling.ExecuteTile(context.Background(), child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Violations) != 0 {
+		t.Fatalf("healed child still violates: %+v", want.Violations)
+	}
+	if !reflect.DeepEqual(fin.Tile, want) {
+		t.Fatalf("delta result diverges from from-scratch child:\n got %+v\nwant %+v", fin.Tile, want)
+	}
+
+	// Identical delta: the child is content-addressed like any tile, so
+	// the second submission is a cache hit.
+	dup, _, err := s.submit(JobRequest{Kind: KindDelta, Delta: healDelta(parent.Key)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Cached || dup.Key != st.Key {
+		t.Fatalf("duplicate delta not a cache hit on the child key: %+v", dup)
+	}
+
+	// Chained delta: the child was registered in the parent store under
+	// its own address, so a further edit can name it as parent.
+	chain := &tiling.DeltaRequest{
+		Schema: tiling.TileSchema, Parent: st.Key,
+		Added: []layout.Shape{{Layer: tech.Metal2, R: geom.R(3000, 3000, 3300, 3070)}},
+	}
+	cst, _, err := s.submit(JobRequest{Kind: KindDelta, Delta: chain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfin, ok, err := s.wait(context.Background(), cst.ID)
+	if err != nil || !ok || cfin.State != StateDone {
+		t.Fatalf("chained delta wait: %+v ok=%v err=%v", cfin, ok, err)
+	}
+	if s.Stats().TileParents < 3 {
+		t.Fatalf("parent store = %d entries, want parent + both children", s.Stats().TileParents)
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	s := New(Config{Workers: 1, Queue: 8, MaxWait: time.Hour})
+	defer s.Shutdown(context.Background())
+
+	// Missing payload.
+	if _, _, err := s.submit(JobRequest{Kind: KindDelta}); err == nil {
+		t.Fatal("delta job without payload accepted")
+	}
+
+	// Unknown parent: the typed miss, with the exact pinned message.
+	ghost := "sha256:" + strings.Repeat("0", 64)
+	_, _, err := s.submit(JobRequest{Kind: KindDelta, Delta: &tiling.DeltaRequest{
+		Schema: tiling.TileSchema, Parent: ghost,
+	}})
+	var up *UnknownParent
+	if !errors.As(err, &up) || up.Parent != ghost {
+		t.Fatalf("ghost parent error = %v, want UnknownParent", err)
+	}
+	if err.Error() != "unknown parent tile "+ghost {
+		t.Fatalf("parent-miss message %q drifted from the wire contract", err.Error())
+	}
+
+	// Malformed parent address and wrong schema are validation errors,
+	// not parent misses.
+	for _, d := range []*tiling.DeltaRequest{
+		{Schema: tiling.TileSchema, Parent: "not-an-address"},
+		{Schema: tiling.TileSchema - 1, Parent: ghost},
+	} {
+		_, _, err := s.submit(JobRequest{Kind: KindDelta, Delta: d})
+		if err == nil || errors.As(err, &up) {
+			t.Fatalf("bad delta %+v: err = %v, want validation error", d, err)
+		}
+	}
+
+	// A removal that does not match the parent's shapes is a validation
+	// error too — the delta was derived against different geometry.
+	parent, _, err := s.submit(JobRequest{Kind: KindTile, Tile: tileReq(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.submit(JobRequest{Kind: KindDelta, Delta: &tiling.DeltaRequest{
+		Schema: tiling.TileSchema, Parent: parent.Key,
+		Removed: []layout.Shape{{Layer: tech.Metal1, R: geom.R(0, 0, 10, 10)}},
+	}})
+	if err == nil || errors.As(err, &up) {
+		t.Fatalf("mismatched removal: err = %v, want validation error", err)
+	}
+}
+
+func TestDeltaParentEviction(t *testing.T) {
+	// A parent store of 1: submitting a second tile evicts the first,
+	// and a delta against the evicted parent is a miss, never a wrong
+	// answer.
+	s := New(Config{Workers: 1, Queue: 8, MaxWait: time.Hour, TileStore: 1})
+	defer s.Shutdown(context.Background())
+
+	first, _, err := s.submit(JobRequest{Kind: KindTile, Tile: tileReq(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.submit(JobRequest{Kind: KindTile, Tile: tileReq(100)}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.submit(JobRequest{Kind: KindDelta, Delta: healDelta(first.Key)})
+	var up *UnknownParent
+	if !errors.As(err, &up) {
+		t.Fatalf("delta against evicted parent: err = %v, want UnknownParent", err)
+	}
+}
+
+func TestKeyForDeltaRequest(t *testing.T) {
+	// Router affinity routes a delta by its PARENT address — the node
+	// that served the parent is the only one that can apply the delta.
+	parent := "sha256:" + strings.Repeat("ab", 32)
+	key, err := KeyForRequest(JobRequest{Kind: KindDelta, Delta: &tiling.DeltaRequest{
+		Schema: tiling.TileSchema, Parent: parent,
+	}})
+	if err != nil || key != parent {
+		t.Fatalf("KeyForRequest(delta) = %q, %v; want the parent address", key, err)
+	}
+	if _, err := KeyForRequest(JobRequest{Kind: KindDelta}); err == nil {
+		t.Fatal("KeyForRequest accepted a delta job without payload")
+	}
+}

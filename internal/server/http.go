@@ -74,6 +74,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	case err != nil:
+		// A delta naming a parent this node does not retain is 404 —
+		// "that address is not here", not "your request is malformed" —
+		// so the client's full-tile fallback can key on the status.
+		var up *UnknownParent
+		if errors.As(err, &up) {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}

@@ -44,6 +44,20 @@ func KeyForRequest(req JobRequest) (string, error) {
 		}
 		return tileRequestKey(req.Tile)
 	}
+	if req.Kind == KindDelta {
+		// A delta's routing key is the PARENT address, not the child's:
+		// only the backend that served the parent retains the request
+		// the delta applies to, so affinity must follow the parent.
+		// (The server assigns the job the child's own address once the
+		// parent is found.)
+		if req.Delta == nil {
+			return "", errors.New("delta job missing delta payload")
+		}
+		if err := req.Delta.Validate(); err != nil {
+			return "", err
+		}
+		return req.Delta.Parent, nil
+	}
 	t, err := resolveTech(req.Tech)
 	if err != nil {
 		return "", err

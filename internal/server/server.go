@@ -31,6 +31,10 @@ type Config struct {
 	MaxWait time.Duration
 	// CacheSize is the result-cache entry cap; default 1024.
 	CacheSize int
+	// TileStore caps the retained tile requests delta jobs can name as
+	// parents; default 512. A delta whose parent aged out is answered
+	// with UnknownParent (404), and the client re-sends the full tile.
+	TileStore int
 	// DefaultTimeout is the per-job evaluation budget when the
 	// request does not set one; default 2m. MaxTimeout clamps
 	// request-supplied budgets; default 5m.
@@ -64,6 +68,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
 	}
+	if c.TileStore == 0 {
+		c.TileStore = 512
+	}
 	if c.DefaultTimeout == 0 {
 		c.DefaultTimeout = 2 * time.Minute
 	}
@@ -81,10 +88,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TaskFactory == nil {
 		c.TaskFactory = func(req JobRequest, t *tech.Tech, base layout.BlockOpts) (harness.Task, error) {
-			if req.Kind == KindTile {
+			// Delta jobs reach the factory with Tile already set to the
+			// materialized child, so both kinds run the same executor.
+			if req.Kind == KindTile || req.Kind == KindDelta {
 				tr := req.Tile
 				return harness.Task{
-					Name: "tile/" + tr.Stage,
+					Name: req.Kind + "/" + tr.Stage,
 					Run: func(ctx context.Context, attempt int) (any, error) {
 						return tiling.ExecuteTile(ctx, tr)
 					},
@@ -146,6 +155,7 @@ type Stats struct {
 	QueueDepth  int     `json:"queueDepth"`
 	InFlight    int     `json:"inFlight"`
 	CacheLen    int     `json:"cacheLen"`
+	TileParents int     `json:"tileParents"`
 	EWMAMS      float64 `json:"ewmaLatencyMs"`
 	Draining    bool    `json:"draining"`
 }
@@ -165,6 +175,10 @@ type Server struct {
 	order   []string // job ids in creation order, for retention eviction
 	flights map[string]*flight
 	cache   *resultCache
+	// tiles retains recently submitted stage-A tile requests by content
+	// address so delta jobs can name them as parents. Children are
+	// registered under their own address, so deltas chain.
+	tiles *resultCache
 
 	seq      atomic.Int64
 	draining atomic.Bool
@@ -194,6 +208,7 @@ func New(cfg Config) *Server {
 		jobs:       make(map[string]*job),
 		flights:    make(map[string]*flight),
 		cache:      newResultCache(cfg.CacheSize),
+		tiles:      newResultCache(cfg.TileStore),
 	}
 }
 
@@ -207,7 +222,7 @@ func (s *Server) submit(req JobRequest) (JobStatus, time.Duration, error) {
 		return JobStatus{}, 0, errDraining
 	}
 	switch req.Kind {
-	case "", KindEval, KindTile:
+	case "", KindEval, KindTile, KindDelta:
 	default:
 		return JobStatus{}, 0, fmt.Errorf("unknown job kind %q", req.Kind)
 	}
@@ -220,7 +235,8 @@ func (s *Server) submit(req JobRequest) (JobStatus, time.Duration, error) {
 		return JobStatus{}, 0, err
 	}
 	var key string
-	if req.Kind == KindTile {
+	switch req.Kind {
+	case KindTile:
 		// Content address comes from the tiling engine's own hash, so
 		// the server cache, singleflight, and the router's affinity
 		// ring all see the exact key the local tile cache would use.
@@ -232,7 +248,34 @@ func (s *Server) submit(req JobRequest) (JobStatus, time.Duration, error) {
 		if err != nil {
 			return JobStatus{}, 0, err
 		}
-	} else {
+		if req.Tile.Stage == tiling.StageTile {
+			s.tiles.put(key, req.Tile)
+		}
+	case KindDelta:
+		// Reconstruct the child tile from the retained parent request,
+		// address it by its own content hash, and run it as a tile job.
+		// From here down, a delta IS a tile — same cache, same
+		// singleflight, same executor.
+		if req.Delta == nil {
+			return JobStatus{}, 0, errors.New("delta job missing delta payload")
+		}
+		if err := req.Delta.Validate(); err != nil {
+			return JobStatus{}, 0, err
+		}
+		v, ok := s.tiles.get(req.Delta.Parent)
+		if !ok {
+			return JobStatus{}, 0, &UnknownParent{Parent: req.Delta.Parent}
+		}
+		child, err := req.Delta.Apply(v.(*tiling.TileRequest))
+		if err != nil {
+			return JobStatus{}, 0, err
+		}
+		if key, err = tileRequestKey(child); err != nil {
+			return JobStatus{}, 0, err
+		}
+		s.tiles.put(key, child)
+		req.Tile = child
+	default:
 		key = requestKey(req.Technique, t, req.Seed, base)
 	}
 	task, err := s.cfg.TaskFactory(req, t, base)
@@ -434,12 +477,13 @@ func (s *Server) updateEWMA(d time.Duration) {
 }
 
 // settleLocked moves a job to its terminal state. Callers hold s.mu.
-// Tile jobs settle into tile (hasOut stays false so the status never
-// grows a technique Result); failed tiles carry only the error.
+// Tile and delta jobs settle into tile (hasOut stays false so the
+// status never grows a technique Result); failed ones carry only the
+// error.
 func (j *job) settleLocked(o dfm.Outcome, tile *tiling.TileResult) {
 	j.outcome = o
 	j.tile = tile
-	j.hasOut = tile == nil && j.kind != KindTile
+	j.hasOut = tile == nil && j.kind == ""
 	j.flight = nil
 	if o.Err != nil {
 		j.state = StateFailed
@@ -538,6 +582,7 @@ func (s *Server) Stats() Stats {
 		QueueDepth:  s.pool.QueueDepth(),
 		InFlight:    s.pool.InFlight(),
 		CacheLen:    s.cache.len(),
+		TileParents: s.tiles.len(),
 		EWMAMS:      float64(s.ewmaNs.Load()) / 1e6,
 		Draining:    s.draining.Load(),
 	}

@@ -1,0 +1,228 @@
+package tiling
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/harness"
+	"repro/internal/litho"
+	"repro/internal/tech"
+)
+
+// Incremental re-evaluation: the edit-check loop's fast path. A full
+// tiled run records a Snapshot — the per-unit outputs plus the grid
+// geometry that produced them — and a later run over an *edited* chip
+// recomputes only the tiles and scan windows whose halo-bloated
+// extraction windows touch the dirty region, splicing every other
+// unit's prior output verbatim. Correctness rests on two facts the
+// engine already guarantees: extraction is a pure window query
+// (whole shapes, closed-interval touch — a window no dirty rect
+// touches extracts an identical multiset from the edited hierarchy),
+// and every per-unit computation is a pure function of its extracted
+// window. The stitch then reruns over the mixed outputs unchanged, so
+// the result is bit-identical to a from-scratch Evaluate of the edited
+// chip — pinned by the differential tests in incremental_test.go.
+
+// ErrFullRequired is returned (wrapped) by EvaluateDelta when the edit
+// invalidates the snapshot's global structure — the die bbox or a
+// scanned layer's bbox moved (re-anchoring a grid), the enabled
+// density layer set changed, or the snapshot was recorded under
+// surrogate gating (a chip-global model no splice can preserve).
+// Callers fall back to a full EvaluateSnap.
+var ErrFullRequired = errors.New("tiling: delta requires a full re-evaluation")
+
+// Snapshot retains one evaluation's per-unit outputs and the grid
+// parameters that located them. It is immutable once returned;
+// successive deltas chain snapshots, sharing unchanged unit outputs.
+type Snapshot struct {
+	opts        Opts // resolved (withDefaults applied)
+	die         geom.Rect
+	densLayers  []tech.Layer
+	pad         int64
+	nx, ny      int
+	wins        []geom.Rect
+	perTileWins [][]int
+	outs        []tileOut // absolute-frame per-tile outputs
+	scans       map[tech.Layer]*layerSnap
+}
+
+// layerSnap is one hotspot layer's stage-B state: the grid anchor, the
+// windows, the extraction pad, and each window's kept hotspots.
+type layerSnap struct {
+	bbox   geom.Rect
+	swins  []geom.Rect
+	extPad int64
+	perWin [][]litho.Hotspot
+}
+
+// Tiles returns the stage-A grid size (nx, ny).
+func (s *Snapshot) Tiles() (nx, ny int) { return s.nx, s.ny }
+
+// Pad returns the stage-A context pad the invalidation predicate
+// bloats tile cores by.
+func (s *Snapshot) Pad() int64 { return s.pad }
+
+// Die returns the die bbox the snapshot was recorded over.
+func (s *Snapshot) Die() geom.Rect { return s.die }
+
+// TileCore returns tile i's core rect in the snapshot's grid.
+func (s *Snapshot) TileCore(i int) geom.Rect {
+	return tileCore(s.die, s.opts.Tile, s.nx, i)
+}
+
+// InvalidatedTiles returns, in index order, exactly the stage-A tiles
+// EvaluateDelta would recompute for the given dirty rects: those whose
+// pad-bloated core touches (closed-interval, matching extraction) any
+// changed rect. Pure geometry — no extraction, no evaluation — so
+// tests can pin the invalidation footprint of a delta independently.
+func (s *Snapshot) InvalidatedTiles(changed []geom.Rect) []int {
+	var out []int
+	for i := 0; i < s.nx*s.ny; i++ {
+		if touchesAny(s.TileCore(i).Bloat(s.pad), changed) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// InvalidatedWindows is InvalidatedTiles for one hotspot layer's
+// stage-B scan windows (nil if the layer was not scanned).
+func (s *Snapshot) InvalidatedWindows(layer tech.Layer, changed []geom.Rect) []int {
+	ls := s.scans[layer]
+	if ls == nil {
+		return nil
+	}
+	var out []int
+	for i, w := range ls.swins {
+		if touchesAny(w.Bloat(ls.extPad), changed) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// incrState threads the incremental machinery through evaluate: prev +
+// changed splice unchanged units from a prior snapshot; snap records a
+// new one.
+type incrState struct {
+	prev    *Snapshot
+	changed []geom.Rect
+	snap    *Snapshot
+}
+
+// EvaluateSnap is Evaluate plus a Snapshot for later EvaluateDelta
+// calls. The result is identical to Evaluate's.
+func EvaluateSnap(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts) (*Result, *Snapshot, error) {
+	snap := &Snapshot{}
+	res, err := evaluate(stdctx, t, ex, o, nil, &incrState{snap: snap})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, snap, nil
+}
+
+// EvaluateDelta re-evaluates an edited chip against a prior snapshot:
+// ex must be a fresh Extractor over the edited hierarchy, and changed
+// must cover every rect added to or removed from it since the snapshot
+// (per-shape rects, not a merged bbox — the invalidation footprint is
+// their union of touches). Only units whose extraction windows touch a
+// changed rect are re-extracted and recomputed; the rest splice from
+// the snapshot. Returns the result — bit-identical to a from-scratch
+// Evaluate of the edited chip under the snapshot's options — plus a
+// new snapshot for chaining. Errors wrapping ErrFullRequired mean the
+// edit moved grid anchors or rule sets; fall back to EvaluateSnap.
+func EvaluateDelta(stdctx context.Context, t *tech.Tech, ex *Extractor, prev *Snapshot, changed []geom.Rect) (*Result, *Snapshot, error) {
+	if prev == nil {
+		return nil, nil, errors.New("tiling: EvaluateDelta needs a snapshot")
+	}
+	if prev.die.Empty() {
+		return nil, nil, fmt.Errorf("%w: snapshot recorded over an empty die", ErrFullRequired)
+	}
+	snap := &Snapshot{}
+	res, err := evaluate(stdctx, t, ex, prev.opts, nil, &incrState{prev: prev, changed: changed, snap: snap})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, snap, nil
+}
+
+// tileCore returns tile i's core rect in the stage-A grid — the single
+// definition evaluate, the snapshot accessors, and the invalidation
+// predicate all share, so "which tile is dirty" can never drift from
+// "which tile is computed".
+func tileCore(die geom.Rect, tile int64, nx, i int) geom.Rect {
+	return geom.R(
+		die.X0+int64(i%nx)*tile, die.Y0+int64(i/nx)*tile,
+		minI64(die.X0+int64(i%nx+1)*tile, die.X1),
+		minI64(die.Y0+int64(i/nx+1)*tile, die.Y1))
+}
+
+// touchesAny reports whether any changed rect touches win under the
+// extractor's closed-interval predicate — the exact condition under
+// which the window's extracted multiset can differ.
+func touchesAny(win geom.Rect, changed []geom.Rect) bool {
+	for _, r := range changed {
+		if touches(r, win) {
+			return true
+		}
+	}
+	return false
+}
+
+func layersEqual(a, b []tech.Layer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scanLayerSplice is scanLayerPlain with the incremental fast path:
+// windows whose padded extraction misses every dirty rect take their
+// prior result without extraction; the rest run exactly like the plain
+// driver. nEmpty counts recomputed-empty windows only (spliced windows
+// keep whatever they measured before — Stats describe work done, not
+// the result).
+func scanLayerSplice(ctx context.Context, workers int, swins []geom.Rect, extPad int64,
+	changed []geom.Rect, prev [][]litho.Hotspot,
+	getRects func(i int) []geom.Rect, exec windowExec) (perWin [][]litho.Hotspot, nEmpty int, nSpliced int64, err error) {
+	perWin = make([][]litho.Hotspot, len(swins))
+	empty := make([]bool, len(swins))
+	spliced := make([]bool, len(swins))
+	err = harness.ForEachErr(ctx, workers, len(swins), func(i int) error {
+		if !touchesAny(swins[i].Bloat(extPad), changed) {
+			cSpliceWindows.Inc()
+			spliced[i] = true
+			perWin[i] = prev[i]
+			return nil
+		}
+		cWindows.Inc()
+		rs := getRects(i)
+		if len(rs) == 0 {
+			cWindowsEmpty.Inc()
+			empty[i] = true
+			return nil
+		}
+		hs, err := exec(i, swins[i], rs)
+		if err != nil {
+			return err
+		}
+		perWin[i] = hs
+		return nil
+	})
+	for i := range swins {
+		if empty[i] {
+			nEmpty++
+		}
+		if spliced[i] {
+			nSpliced++
+		}
+	}
+	return perWin, nEmpty, nSpliced, err
+}

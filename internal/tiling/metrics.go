@@ -20,6 +20,10 @@ var (
 	cWinHit   = obs.C("tiling.cache.window.hit")
 	cWinMiss  = obs.C("tiling.cache.window.miss")
 
+	// Incremental re-evaluation (EvaluateDelta).
+	cSpliceTiles   = obs.C("tiling.splice.tiles")
+	cSpliceWindows = obs.C("tiling.splice.windows")
+
 	// Seam stitching.
 	cStitchViol  = obs.C("tiling.stitch.violations")
 	cStitchDedup = obs.C("tiling.stitch.deduped")

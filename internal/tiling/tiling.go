@@ -138,6 +138,12 @@ type Stats struct {
 	Windows, EmptyWindows    int   // litho scan windows
 	WindowHits, WindowMisses int64 // window-level cache outcomes
 
+	// Incremental re-evaluation accounting (EvaluateDelta only): work
+	// units whose halo-bloated windows missed the dirty region and
+	// were spliced from the prior snapshot without extraction or
+	// computation.
+	SplicedTiles, SplicedWindows int
+
 	// Surrogate gating outcomes, summed over scanned layers (gated
 	// runs only): windows exactly simulated for training+holdout,
 	// skipped as confidently clean, forced exact by fail-risk guards,
@@ -201,7 +207,7 @@ func EvaluateChip(ctx context.Context, t *tech.Tech, top *layout.Cell, o Opts) (
 // result reproduces a flat evaluation exactly (for violations whose
 // markers fit inside the halo — see Opts.Halo).
 func Evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts) (*Result, error) {
-	return evaluate(stdctx, t, ex, o, nil)
+	return evaluate(stdctx, t, ex, o, nil, nil)
 }
 
 // DistEvaluate is Evaluate with the per-unit computation farmed out to
@@ -223,14 +229,16 @@ func DistEvaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, r
 	if rc == nil {
 		return nil, errors.New("tiling: DistEvaluate needs a TileClient")
 	}
-	return evaluate(stdctx, t, ex, o, rc)
+	return evaluate(stdctx, t, ex, o, rc, nil)
 }
 
 // evaluate is the engine shared by Evaluate (remote == nil, units
-// computed in-process) and DistEvaluate (units executed through
-// remote). The grid cut, extraction, caching, and stitching are one
-// code path; only the "compute this unit" step dispatches.
-func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remote TileClient) (*Result, error) {
+// computed in-process), DistEvaluate (units executed through remote),
+// and the incremental pair EvaluateSnap/EvaluateDelta (inc records a
+// Snapshot and/or splices unchanged units from a prior one — see
+// incremental.go). The grid cut, extraction, caching, and stitching
+// are one code path; only the "compute this unit" step dispatches.
+func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remote TileClient, inc *incrState) (*Result, error) {
 	start := time.Now()
 	o = withDefaults(t, o)
 	res := &Result{
@@ -242,6 +250,9 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 	res.Stats.Die = die
 	res.Stats.Rects = ex.Rects()
 	if die.Empty() {
+		if inc != nil && inc.snap != nil {
+			*inc.snap = Snapshot{opts: o, die: die}
+		}
 		res.Stats.Elapsed = time.Since(start)
 		return res, nil
 	}
@@ -276,6 +287,23 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 	}
 	cfg := configKey(t, o, densLayers)
 
+	// Incremental splice: verify the prior snapshot still describes
+	// this chip's global structure. Anything that moves the tile or
+	// window grids, or changes which rules run where, invalidates every
+	// cached unit at once — typed as ErrFullRequired so callers fall
+	// back to a from-scratch run instead of stitching garbage.
+	if inc != nil && inc.prev != nil {
+		if o.Surrogate != nil {
+			return nil, fmt.Errorf("%w: surrogate gating is chip-global", ErrFullRequired)
+		}
+		if die != inc.prev.die {
+			return nil, fmt.Errorf("%w: die bbox moved %v -> %v", ErrFullRequired, inc.prev.die, die)
+		}
+		if !layersEqual(densLayers, inc.prev.densLayers) {
+			return nil, fmt.Errorf("%w: enabled density layer set changed", ErrFullRequired)
+		}
+	}
+
 	// Global density window grid: windows are anchored at the die
 	// corner like the flat rule's, and each is assigned to the unique
 	// tile containing its lower-left corner, so every window is
@@ -305,16 +333,23 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 	outs := make([]tileOut, nT)
 	var nEmpty, nHit, nMiss, nShapes atomic.Int64
 	var nRemT, nRemW, nRemC, nRemD atomic.Int64
+	var nSpliceT, nSpliceW atomic.Int64
 	res.Stats.Tiles = nT
 	err := harness.ForEachErr(stdctx, o.Workers, nT, func(i int) error {
 		sp := hTileNS.Start()
 		defer sp.End()
 		cTiles.Inc()
-		core := geom.R(
-			die.X0+int64(i%nx)*o.Tile, die.Y0+int64(i/nx)*o.Tile,
-			minI64(die.X0+int64(i%nx+1)*o.Tile, die.X1),
-			minI64(die.Y0+int64(i/nx+1)*o.Tile, die.Y1))
+		core := tileCore(die, o.Tile, nx, i)
 		padded := core.Bloat(pad)
+		if inc != nil && inc.prev != nil && !touchesAny(padded, inc.changed) {
+			// The padded window misses every dirty rect: the extraction
+			// over it is unchanged, and the per-tile computation is a
+			// pure function of it — splice the prior output untouched.
+			cSpliceTiles.Inc()
+			nSpliceT.Add(1)
+			outs[i] = inc.prev.outs[i]
+			return nil
+		}
 		shapes := ex.AppendShapes(padded, nil)
 		nShapes.Add(int64(len(shapes)))
 		cShapes.Add(int64(len(shapes)))
@@ -464,10 +499,26 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 	if o.Surrogate != nil {
 		res.Surrogate = make(map[tech.Layer]*surrogate.Report)
 	}
+	var scanSnaps map[tech.Layer]*layerSnap
+	if inc != nil && inc.snap != nil {
+		scanSnaps = make(map[tech.Layer]*layerSnap)
+	}
 	for _, hl := range o.Hotspots {
-		swins := litho.ScanGrid(ex.LayerBBox(hl))
+		lb := ex.LayerBBox(hl)
+		swins := litho.ScanGrid(lb)
+		var prevScan *layerSnap
+		if inc != nil && inc.prev != nil {
+			// The scan grid is anchored at the layer bbox: an edit that
+			// moves it re-phases every window at once.
+			if prevScan = inc.prev.scans[hl]; prevScan == nil || prevScan.bbox != lb {
+				return nil, fmt.Errorf("%w: %v bbox moved (scan grid anchor)", ErrFullRequired, hl)
+			}
+		}
 		res.Hotspots[hl] = nil
 		if len(swins) == 0 {
+			if scanSnaps != nil {
+				scanSnaps[hl] = &layerSnap{bbox: lb}
+			}
 			continue
 		}
 		minW, minS := o.MinWidth, o.MinSpace
@@ -544,7 +595,15 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 		}
 		var perWin [][]litho.Hotspot
 		var nEmpty int
-		if o.Surrogate != nil {
+		if prevScan != nil {
+			var nSpl int64
+			perWin, nEmpty, nSpl, err = scanLayerSplice(stdctx, o.Workers, swins, extPad,
+				inc.changed, prevScan.perWin, getRects, exec)
+			if err != nil {
+				return nil, err
+			}
+			nSpliceW.Add(nSpl)
+		} else if o.Surrogate != nil {
 			getNb := func(i int) []geom.Rect {
 				return ex.AppendLayerRects(swins[i].Bloat(extPad), neighborLayer(hl), nil)
 			}
@@ -567,6 +626,9 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 		}
 		nWin.Add(int64(len(swins)))
 		nWinEmpty.Add(int64(nEmpty))
+		if scanSnaps != nil {
+			scanSnaps[hl] = &layerSnap{bbox: lb, swins: swins, extPad: extPad, perWin: perWin}
+		}
 		// Stitch: windows in scan order with the same box-keyed seam
 		// dedup ScanLayer applies, then the deterministic total order.
 		res.Hotspots[hl] = stitchWindows(perWin)
@@ -579,6 +641,15 @@ func evaluate(stdctx context.Context, t *tech.Tech, ex *Extractor, o Opts, remot
 	res.Stats.RemoteWindows = nRemW.Load()
 	res.Stats.RemoteCached = nRemC.Load()
 	res.Stats.RemoteDeduped = nRemD.Load()
+	res.Stats.SplicedTiles = int(nSpliceT.Load())
+	res.Stats.SplicedWindows = int(nSpliceW.Load())
+	if inc != nil && inc.snap != nil {
+		*inc.snap = Snapshot{
+			opts: o, die: die, densLayers: densLayers, pad: pad,
+			nx: nx, ny: ny, wins: wins, perTileWins: perTileWins,
+			outs: outs, scans: scanSnaps,
+		}
+	}
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -304,3 +304,77 @@ func absorbWindowResult(tr *TileResult, win geom.Rect) ([]litho.Hotspot, error) 
 	}
 	return hs, nil
 }
+
+// DeltaRequest is the incremental form of a stage-A tile: instead of
+// re-shipping the full shape list after a small edit, the submitter
+// names a previously submitted tile by content address and sends only
+// the shape edits. The serving node reconstructs the child TileRequest
+// from its retained parent request, addresses it by the child's own
+// content hash (so identical deltas collapse in the cache and
+// singleflight like any tile), and executes it exactly as if the full
+// child had been sent. Geometry is core-relative, like TileRequest
+// shapes. A node that no longer retains the parent answers "unknown
+// parent"; the submitter falls back to the full tile.
+type DeltaRequest struct {
+	Schema int `json:"schema"`
+	// Parent is the content address ("sha256:<hex>") of the stage-A
+	// tile the edits apply to — the Key of a TileRequest the node has
+	// recently served.
+	Parent  string         `json:"parent"`
+	Added   []layout.Shape `json:"added,omitempty"`
+	Removed []layout.Shape `json:"removed,omitempty"`
+}
+
+// Validate checks the delta is well-formed for this build.
+func (d *DeltaRequest) Validate() error {
+	if d == nil {
+		return errors.New("tiling: nil delta request")
+	}
+	if d.Schema != TileSchema {
+		return fmt.Errorf("tiling: delta request schema %d, this build speaks %d", d.Schema, TileSchema)
+	}
+	const pfx = "sha256:"
+	if len(d.Parent) != len(pfx)+2*sha256.Size || d.Parent[:len(pfx)] != pfx {
+		return fmt.Errorf("tiling: delta parent %q is not a sha256 content address", d.Parent)
+	}
+	return nil
+}
+
+// Apply materializes the child TileRequest: the parent with the delta's
+// removals taken out (matched exactly, as a multiset — a removal that
+// matches nothing is an error, because it means the delta was derived
+// against different geometry) and its additions appended. The parent is
+// not modified. Only stage-A tiles support deltas: a scan window's
+// rects are a single layer's geometry, re-extracted wholesale when
+// dirty.
+func (d *DeltaRequest) Apply(parent *TileRequest) (*TileRequest, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := parent.Validate(); err != nil {
+		return nil, err
+	}
+	if parent.Stage != StageTile {
+		return nil, fmt.Errorf("tiling: delta against stage %q unit; only stage %q supports deltas", parent.Stage, StageTile)
+	}
+	pending := append([]layout.Shape(nil), d.Removed...)
+	shapes := make([]layout.Shape, 0, len(parent.Shapes)+len(d.Added))
+outer:
+	for _, s := range parent.Shapes {
+		for i, r := range pending {
+			if s == r {
+				pending[i] = pending[len(pending)-1]
+				pending = pending[:len(pending)-1]
+				continue outer
+			}
+		}
+		shapes = append(shapes, s)
+	}
+	if len(pending) != 0 {
+		return nil, fmt.Errorf("tiling: delta removes %v @ %v which is not in the parent tile",
+			pending[0].Layer, pending[0].R)
+	}
+	child := *parent
+	child.Shapes = append(shapes, d.Added...)
+	return &child, nil
+}

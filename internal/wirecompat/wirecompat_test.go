@@ -53,9 +53,9 @@ type deployment struct {
 func contractConfig(gate chan struct{}) server.Config {
 	cfg := server.Config{Workers: 1, Queue: 1, MaxWait: 0}
 	cfg.TaskFactory = func(req server.JobRequest, tt *tech.Tech, base layout.BlockOpts) (harness.Task, error) {
-		if req.Kind == server.KindTile {
-			tr := req.Tile
-			return harness.Task{Name: "tile/" + tr.Stage, Run: func(ctx context.Context, attempt int) (any, error) {
+		if req.Kind == server.KindTile || req.Kind == server.KindDelta {
+			tr := req.Tile // materialized child for delta jobs
+			return harness.Task{Name: req.Kind + "/" + tr.Stage, Run: func(ctx context.Context, attempt int) (any, error) {
 				return tiling.ExecuteTile(ctx, tr)
 			}}, nil
 		}
@@ -271,6 +271,98 @@ func suite(t *testing.T, d *deployment) {
 		if !dst.Cached || dst.Tile == nil {
 			t.Fatalf("duplicate tile not served from cache: %+v", dst)
 		}
+	})
+
+	t.Run("delta-round-trip", func(t *testing.T) {
+		// Parent first (also warms the tile cache from the prior
+		// subtest's submissions — either way the parent store holds it).
+		presp := postJSON(t, d.url+"/v1/jobs?wait=1", server.JobRequest{Kind: server.KindTile, Tile: tileReq()})
+		pst := decode[server.JobStatus](t, presp)
+		if pst.State != server.StateDone {
+			t.Fatalf("parent tile: %+v", pst)
+		}
+		// Nudge the right-hand offender 10nm right: the gap widens to
+		// 60nm, still violating — so both sides must produce the same
+		// non-empty, shifted marker (an empty result would compare
+		// vacuously through the JSON round trip).
+		heal := func() *tiling.DeltaRequest {
+			return &tiling.DeltaRequest{
+				Schema: tiling.TileSchema, Parent: pst.Key,
+				Removed: []layout.Shape{{Layer: tech.Metal2, R: geom.R(1850, 1500, 2150, 1570)}},
+				Added:   []layout.Shape{{Layer: tech.Metal2, R: geom.R(1860, 1500, 2160, 1570)}},
+			}
+		}
+		child, err := heal().Apply(tileReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := tiling.ExecuteTile(context.Background(), child)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Violations) != 1 {
+			t.Fatalf("edited child violations = %+v, want exactly the widened gap", want.Violations)
+		}
+		resp := postJSON(t, d.url+"/v1/jobs?wait=1", server.JobRequest{Kind: server.KindDelta, Delta: heal()})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("delta wait=1 submit status = %d, want 200", resp.StatusCode)
+		}
+		st := decode[server.JobStatus](t, resp)
+		if st.State != server.StateDone || st.Kind != server.KindDelta || st.Tile == nil {
+			t.Fatalf("delta submit body: %+v", st)
+		}
+		if !strings.HasPrefix(st.Key, "sha256:") || st.Key == pst.Key {
+			t.Fatalf("delta key %q (parent %q): want the child's own content address", st.Key, pst.Key)
+		}
+		if !reflect.DeepEqual(st.Tile.Violations, want.Violations) {
+			t.Fatalf("wire delta violations diverge from local child execution:\n got %+v\nwant %+v",
+				st.Tile.Violations, want.Violations)
+		}
+		// Identical delta: cache hit on the child address.
+		dup := postJSON(t, d.url+"/v1/jobs?wait=1", server.JobRequest{Kind: server.KindDelta, Delta: heal()})
+		dst := decode[server.JobStatus](t, dup)
+		if !dst.Cached || dst.Key != st.Key {
+			t.Fatalf("duplicate delta not served from cache: %+v", dst)
+		}
+		// Chained delta against the child's address.
+		chained := postJSON(t, d.url+"/v1/jobs?wait=1", server.JobRequest{Kind: server.KindDelta,
+			Delta: &tiling.DeltaRequest{
+				Schema: tiling.TileSchema, Parent: st.Key,
+				Added: []layout.Shape{{Layer: tech.Metal2, R: geom.R(4000, 4000, 4300, 4070)}},
+			}})
+		cst := decode[server.JobStatus](t, chained)
+		if cst.State != server.StateDone || cst.Tile == nil {
+			t.Fatalf("chained delta: %+v", cst)
+		}
+	})
+
+	t.Run("delta-parent-miss", func(t *testing.T) {
+		// A delta naming a parent the deployment never served must be
+		// 404 with the exact pinned body on both shapes — the client's
+		// full-tile fallback keys on it.
+		ghost := "sha256:" + strings.Repeat("0", 64)
+		resp := postJSON(t, d.url+"/v1/jobs", server.JobRequest{Kind: server.KindDelta,
+			Delta: &tiling.DeltaRequest{Schema: tiling.TileSchema, Parent: ghost}})
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("ghost-parent delta status = %d, want 404", resp.StatusCode)
+		}
+		body := decode[server.ErrorBody](t, resp)
+		if body.Error != "unknown parent tile "+ghost {
+			t.Fatalf("parent-miss body %q drifted from the pinned contract", body.Error)
+		}
+		// Malformed parent address: validation, not a miss.
+		resp = postJSON(t, d.url+"/v1/jobs", server.JobRequest{Kind: server.KindDelta,
+			Delta: &tiling.DeltaRequest{Schema: tiling.TileSchema, Parent: "bogus"}})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed parent status = %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+		// Missing payload.
+		resp = postJSON(t, d.url+"/v1/jobs", server.JobRequest{Kind: server.KindDelta})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("delta without payload status = %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
 	})
 
 	t.Run("validation-errors", func(t *testing.T) {
